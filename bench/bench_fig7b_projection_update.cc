@@ -1,0 +1,26 @@
+// Figure 7(b): time to update the local interpretation ℘ during ancestor
+// projection — the dominant phase of Fig 7(a) per the paper, linear in
+// the number of objects and quadratic in the per-object OPF size.
+#include <cstdio>
+
+#include "fig7_common.h"
+
+int main() {
+  using namespace pxml::bench;
+  std::printf(
+      "# Figure 7(b): local-interpretation (℘) update time of ancestor "
+      "projection\n"
+      "# update_ms is the headline series; entries = OPF rows read\n");
+  std::printf("%-3s %2s %2s %9s %10s %4s %12s %12s\n", "lab", "b", "d",
+              "objects", "opf_rows", "q", "update_ms", "update_frac");
+  for (const SweepPoint& point : Fig7Sweep(/*max_objects=*/310000)) {
+    ProjectionRow row = RunProjectionPoint(point, /*seed=*/997);
+    double frac = row.total_ms > 0 ? row.update_ms / row.total_ms : 0.0;
+    std::printf("%-3s %2u %2u %9zu %10zu %4d %12.3f %12.3f\n",
+                SchemeName(point.scheme), point.branching, point.depth,
+                row.objects, row.opf_entries, row.queries, row.update_ms,
+                frac);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 7(c): total query processing time of selection (object
+// conditions p = o) over balanced trees of 100..100000 objects. The
+// paper's finding: the ℘ update touches only the ancestor chain
+// (< 1 ms), so writing the (structurally unchanged) result dominates.
+#include <cstdio>
+
+#include "fig7_common.h"
+
+int main() {
+  using namespace pxml::bench;
+  std::printf(
+      "# Figure 7(c): total selection query time\n"
+      "# copy+locate+update+write; update touches only `depth` objects\n");
+  std::printf("%-3s %2s %2s %9s %10s %4s %10s %9s %9s %9s\n", "lab", "b",
+              "d", "objects", "opf_rows", "q", "total_ms", "locate",
+              "update", "write");
+  for (const SweepPoint& point : Fig7Sweep(/*max_objects=*/100000)) {
+    SelectionRow row = RunSelectionPoint(point, /*seed=*/4242);
+    std::printf("%-3s %2u %2u %9zu %10zu %4d %10.3f %9.3f %9.3f %9.3f\n",
+                SchemeName(point.scheme), point.branching, point.depth,
+                row.objects, row.opf_entries, row.queries, row.total_ms,
+                row.locate_ms, row.update_ms, row.write_ms);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E7 ablation: the whole point of Section 6 — the local (ε-propagation)
+// algorithms versus naive possible-worlds marginalization, and versus
+// generic Bayesian-network variable elimination, on the same point query.
+// World enumeration explodes exponentially with depth; the local pass
+// stays linear.
+#include <benchmark/benchmark.h>
+
+#include "bayes/network.h"
+#include "query/point_queries.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/query_generator.h"
+
+namespace {
+
+using namespace pxml;  // NOLINT
+
+struct Setup {
+  ProbabilisticInstance instance;
+  SelectionCondition condition;
+};
+
+Setup MakeSetup(std::uint32_t depth) {
+  GeneratorConfig config;
+  config.depth = depth;
+  config.branching = 2;
+  config.seed = 31 + depth;
+  auto inst = GenerateBalancedTree(config);
+  if (!inst.ok()) std::abort();
+  Rng rng(17);
+  auto cond = GenerateObjectSelection(*inst, rng);
+  if (!cond.ok()) std::abort();
+  return Setup{std::move(inst).ValueOrDie(), *cond};
+}
+
+void BM_PointQueryEpsilon(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto p = PointQuery(setup.instance, setup.condition.path,
+                        setup.condition.object);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(*p);
+  }
+}
+BENCHMARK(BM_PointQueryEpsilon)->DenseRange(2, 8, 1);
+
+void BM_PointQueryWorldEnumeration(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto p = PointQueryViaWorlds(setup.instance, setup.condition.path,
+                                 setup.condition.object);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(*p);
+  }
+}
+// Depth 4 already enumerates for tens of seconds — that cliff IS the
+// result (the local pass answers the same query in microseconds), so one
+// iteration is plenty.
+BENCHMARK(BM_PointQueryWorldEnumeration)
+    ->DenseRange(2, 4, 1)
+    ->Iterations(1);
+
+void BM_PointQueryBayesNet(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)));
+  auto net = BayesNet::Compile(setup.instance);
+  if (!net.ok()) std::abort();
+  for (auto _ : state) {
+    auto p = net->ProbPresent(setup.condition.object);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(*p);
+  }
+}
+BENCHMARK(BM_PointQueryBayesNet)->DenseRange(2, 6, 1);
+
+void BM_BayesNetCompile(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto net = BayesNet::Compile(setup.instance);
+    if (!net.ok()) std::abort();
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_BayesNetCompile)->DenseRange(2, 6, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Serialization throughput: SerializePxml / ParsePxml over generated
+// instances of growing size. Write time is a first-class cost in the
+// paper's Figure 7 totals (it dominates selection), so the library's
+// storage path deserves its own measurement.
+#include <benchmark/benchmark.h>
+
+#include "workload/generator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+using namespace pxml;  // NOLINT
+
+ProbabilisticInstance MakeTree(std::uint32_t depth) {
+  GeneratorConfig config;
+  config.depth = depth;
+  config.branching = 4;
+  config.seed = 77;
+  auto inst = GenerateBalancedTree(config);
+  if (!inst.ok()) std::abort();
+  return std::move(inst).ValueOrDie();
+}
+
+void BM_Serialize(benchmark::State& state) {
+  ProbabilisticInstance inst =
+      MakeTree(static_cast<std::uint32_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = SerializePxml(inst);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(bytes) *
+      static_cast<std::int64_t>(state.iterations()));
+  state.counters["objects"] =
+      static_cast<double>(inst.weak().num_objects());
+}
+BENCHMARK(BM_Serialize)->DenseRange(2, 6, 1);
+
+void BM_Parse(benchmark::State& state) {
+  ProbabilisticInstance inst =
+      MakeTree(static_cast<std::uint32_t>(state.range(0)));
+  std::string text = SerializePxml(inst);
+  for (auto _ : state) {
+    auto parsed = ParsePxml(text);
+    if (!parsed.ok()) std::abort();
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(text.size()) *
+      static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Parse)->DenseRange(2, 5, 1);
+
+void BM_DeepCopy(benchmark::State& state) {
+  // The "copy the input instance" phase of every Fig 7 query.
+  ProbabilisticInstance inst =
+      MakeTree(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    ProbabilisticInstance copy = inst;
+    benchmark::DoNotOptimize(copy);
+  }
+  state.counters["opf_rows"] =
+      static_cast<double>(inst.TotalOpfEntries());
+}
+BENCHMARK(BM_DeepCopy)->DenseRange(2, 6, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

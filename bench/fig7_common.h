@@ -1,0 +1,216 @@
+#ifndef PXML_BENCH_FIG7_COMMON_H_
+#define PXML_BENCH_FIG7_COMMON_H_
+
+// Shared sweep driver for the paper's Section-7 experiments (Figure 7).
+//
+// Workload per §7.1: balanced trees, branching factor 2–8, depth 3–9
+// (capped so the largest configuration matches the paper's ~300k-object
+// top point), SL and FR edge labelings, no cardinality constraints, 2^b
+// OPF rows per non-leaf. Queries are random accepted path expressions of
+// length equal to the tree depth; selection conditions pick a uniform
+// target among the objects satisfying the path.
+//
+// Total query time = copy the input + locate + update structure + update
+// the local interpretation ℘ + write the result to disk — the same cost
+// decomposition the paper reports.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algebra/projection.h"
+#include "algebra/selection.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/query_generator.h"
+#include "xml/writer.h"
+
+namespace pxml {
+namespace bench {
+
+struct SweepPoint {
+  LabelingScheme scheme;
+  std::uint32_t branching;
+  std::uint32_t depth;
+};
+
+/// The (scheme, branching, depth) grid of §7.1, capped at `max_objects`.
+inline std::vector<SweepPoint> Fig7Sweep(std::size_t max_objects) {
+  std::vector<SweepPoint> points;
+  for (LabelingScheme scheme :
+       {LabelingScheme::kSameLabels, LabelingScheme::kFullyRandom}) {
+    for (std::uint32_t b : {2u, 4u, 6u, 8u}) {
+      for (std::uint32_t d = 3; d <= 9; ++d) {
+        if (BalancedTreeObjectCount(d, b) > max_objects) break;
+        points.push_back(SweepPoint{scheme, b, d});
+      }
+    }
+  }
+  return points;
+}
+
+inline const char* SchemeName(LabelingScheme scheme) {
+  return scheme == LabelingScheme::kSameLabels ? "SL" : "FR";
+}
+
+inline double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Scratch file used for the write-to-disk phase.
+inline std::string ScratchPath() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return dir + "/pxml_bench_scratch.pxml";
+}
+
+/// Fails fast on infrastructure errors (generation, I/O).
+inline void BenchCheck(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench error (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Number of (instances, queries-per-instance) to average, scaled down
+/// for large configurations to keep the sweep's wall time reasonable
+/// (the paper averaged 10 x 10 on 2002 hardware).
+inline std::pair<int, int> Repetitions(std::size_t objects) {
+  if (objects > 50000) return {1, 2};
+  if (objects > 5000) return {1, 5};
+  return {2, 5};
+}
+
+struct ProjectionRow {
+  SweepPoint point;
+  std::size_t objects = 0;
+  std::size_t opf_entries = 0;
+  int queries = 0;
+  double total_ms = 0;    // copy + locate + structure + update + write
+  double copy_ms = 0;
+  double locate_ms = 0;
+  double structure_ms = 0;
+  double update_ms = 0;   // the Fig 7(b) quantity
+  double write_ms = 0;
+  std::size_t kept_objects = 0;
+};
+
+/// Runs the ancestor-projection experiment for one sweep point.
+inline ProjectionRow RunProjectionPoint(const SweepPoint& point,
+                                        std::uint64_t seed) {
+  ProjectionRow row;
+  row.point = point;
+  auto [num_instances, num_queries] = Repetitions(
+      BalancedTreeObjectCount(point.depth, point.branching));
+  Rng query_rng(seed ^ 0x51CA7E);
+  std::string scratch = ScratchPath();
+  for (int i = 0; i < num_instances; ++i) {
+    GeneratorConfig config;
+    config.depth = point.depth;
+    config.branching = point.branching;
+    config.labeling = point.scheme;
+    config.seed = seed + static_cast<std::uint64_t>(i) * 7919;
+    auto inst = GenerateBalancedTree(config);
+    BenchCheck(inst.status(), "generate");
+    row.objects = inst->weak().num_objects();
+    row.opf_entries = inst->TotalOpfEntries();
+    for (int q = 0; q < num_queries; ++q) {
+      auto path = GenerateAcceptedPath(*inst, query_rng);
+      BenchCheck(path.status(), "path");
+      auto t0 = std::chrono::steady_clock::now();
+      ProbabilisticInstance copy = *inst;  // the paper's copy phase
+      double copy_ms = MsSince(t0);
+      ProjectionStats stats;
+      auto result = AncestorProject(copy, *path, &stats);
+      BenchCheck(result.status(), "project");
+      auto tw = std::chrono::steady_clock::now();
+      BenchCheck(WritePxmlFile(*result, scratch), "write");
+      double write_ms = MsSince(tw);
+      row.copy_ms += copy_ms;
+      row.locate_ms += stats.locate_seconds * 1e3;
+      row.structure_ms += stats.structure_seconds * 1e3;
+      row.update_ms += stats.update_seconds * 1e3;
+      row.write_ms += write_ms;
+      row.total_ms += MsSince(t0);
+      row.kept_objects += stats.kept_objects;
+      ++row.queries;
+    }
+  }
+  std::remove(scratch.c_str());
+  double n = row.queries;
+  row.total_ms /= n;
+  row.copy_ms /= n;
+  row.locate_ms /= n;
+  row.structure_ms /= n;
+  row.update_ms /= n;
+  row.write_ms /= n;
+  row.kept_objects = static_cast<std::size_t>(
+      static_cast<double>(row.kept_objects) / n);
+  return row;
+}
+
+struct SelectionRow {
+  SweepPoint point;
+  std::size_t objects = 0;
+  std::size_t opf_entries = 0;
+  int queries = 0;
+  double total_ms = 0;  // copy + locate + ℘ update + write
+  double locate_ms = 0;
+  double update_ms = 0;
+  double write_ms = 0;
+};
+
+/// Runs the selection experiment for one sweep point.
+inline SelectionRow RunSelectionPoint(const SweepPoint& point,
+                                      std::uint64_t seed) {
+  SelectionRow row;
+  row.point = point;
+  auto [num_instances, num_queries] = Repetitions(
+      BalancedTreeObjectCount(point.depth, point.branching));
+  Rng query_rng(seed ^ 0x5E1EC7);
+  std::string scratch = ScratchPath();
+  for (int i = 0; i < num_instances; ++i) {
+    GeneratorConfig config;
+    config.depth = point.depth;
+    config.branching = point.branching;
+    config.labeling = point.scheme;
+    config.seed = seed + static_cast<std::uint64_t>(i) * 104729;
+    auto inst = GenerateBalancedTree(config);
+    BenchCheck(inst.status(), "generate");
+    row.objects = inst->weak().num_objects();
+    row.opf_entries = inst->TotalOpfEntries();
+    for (int q = 0; q < num_queries; ++q) {
+      auto cond = GenerateObjectSelection(*inst, query_rng);
+      BenchCheck(cond.status(), "condition");
+      auto t0 = std::chrono::steady_clock::now();
+      SelectionStats stats;
+      auto result = Select(*inst, *cond, &stats);
+      BenchCheck(result.status(), "select");
+      auto tw = std::chrono::steady_clock::now();
+      BenchCheck(WritePxmlFile(*result, scratch), "write");
+      double write_ms = MsSince(tw);
+      row.locate_ms += stats.locate_seconds * 1e3;
+      row.update_ms += stats.update_seconds * 1e3;
+      row.write_ms += write_ms;
+      row.total_ms += MsSince(t0);
+      ++row.queries;
+    }
+  }
+  std::remove(scratch.c_str());
+  double n = row.queries;
+  row.total_ms /= n;
+  row.locate_ms /= n;
+  row.update_ms /= n;
+  row.write_ms /= n;
+  return row;
+}
+
+}  // namespace bench
+}  // namespace pxml
+
+#endif  // PXML_BENCH_FIG7_COMMON_H_

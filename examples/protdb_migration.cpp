@@ -1,0 +1,87 @@
+// Migrating a ProTDB probabilistic tree into PXML (the Section-8
+// subsumption, constructively): the same document is embedded under all
+// three OPF representations; queries agree, footprints differ.
+//
+// Run:  ./protdb_migration
+#include <cstdio>
+
+#include "core/validation.h"
+#include "protdb/conversion.h"
+#include "protdb/protdb.h"
+#include "query/parser.h"
+#include "query/point_queries.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace pxml;  // NOLINT — example brevity
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  Check(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+const char* RepName(OpfRepresentation rep) {
+  switch (rep) {
+    case OpfRepresentation::kExplicit:
+      return "explicit";
+    case OpfRepresentation::kIndependent:
+      return "independent";
+    case OpfRepresentation::kPerLabel:
+      return "per-label";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  // A ProTDB-style extraction of a small digital library: each node
+  // carries an independent existence probability given its parent.
+  ProtdbDocument doc;
+  ObjectId root = Unwrap(doc.CreateRoot("library"));
+  ObjectId paper1 = Unwrap(doc.AddChild(root, "paper", "p_lore", 0.95));
+  ObjectId paper2 = Unwrap(doc.AddChild(root, "paper", "p_vqdb", 0.6));
+  ObjectId survey = Unwrap(doc.AddChild(root, "survey", "s_xml", 0.3));
+  for (int i = 0; i < 6; ++i) {
+    Check(doc.AddChild(paper1, "author", StrCat("a", i), 0.5 + 0.05 * i)
+              .status());
+  }
+  ObjectId year = Unwrap(doc.AddChild(paper2, "year", "y_vqdb", 1.0));
+  Check(doc.SetLeafValue(year, "year", Value(std::int64_t{1996})));
+  ObjectId sy = Unwrap(doc.AddChild(survey, "year", "y_xml", 1.0));
+  Check(doc.SetLeafValue(sy, "year", Value(std::int64_t{2001})));
+
+  std::printf("ProTDB document: %zu nodes\n", doc.num_nodes());
+  std::printf("ProTDB P(a3 exists) = %.4f\n\n",
+              Unwrap(doc.ExistenceProbability(*doc.dict().FindObject("a3"))));
+
+  for (OpfRepresentation rep :
+       {OpfRepresentation::kExplicit, OpfRepresentation::kIndependent,
+        OpfRepresentation::kPerLabel}) {
+    ProbabilisticInstance inst = Unwrap(FromProtdb(doc, rep));
+    Check(ValidateProbabilisticInstance(inst));
+    // Equivalent-table size vs native footprint.
+    std::size_t table_rows = inst.TotalOpfEntries();
+    Query q = Unwrap(
+        ParseQuery(inst.dict(), "prob library.paper.author = a3"));
+    QueryOutput out = Unwrap(ExecuteQuery(inst, q));
+    std::printf("%-12s: equivalent OPF rows %6zu | P(a3) = %.4f\n",
+                RepName(rep), table_rows, *out.probability);
+  }
+
+  std::printf(
+      "\nAll three representations answer identically — ProTDB is the\n"
+      "independent special case of PXML (paper, Section 8). The explicit\n"
+      "table pays 2^children rows for what the compact forms store in\n"
+      "O(children).\n");
+  return 0;
+}

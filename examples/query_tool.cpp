@@ -1,0 +1,108 @@
+// A small command-line tool over the PXML library:
+//
+//   query_tool <file.pxml> "<query>" ...   run queries against a stored
+//                                          instance (see query syntax in
+//                                          query/parser.h)
+//   query_tool --demo                      generate a random instance,
+//                                          write demo.pxml, and run a few
+//                                          queries against it
+//
+// Example:
+//   ./query_tool --demo
+//   ./query_tool demo.pxml "prob exists r.L0_0.L1_0.L2_1"
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/validation.h"
+#include "query/parser.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/query_generator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+using namespace pxml;  // NOLINT — example brevity
+
+int Die(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunQuery(const ProbabilisticInstance& inst, const std::string& text) {
+  auto query = ParseQuery(inst.dict(), text);
+  if (!query.ok()) return Die(query.status());
+  auto out = ExecuteQuery(inst, *query);
+  if (!out.ok()) return Die(out.status());
+  if (out->probability.has_value()) {
+    std::printf("%s\n  = %.9f\n", text.c_str(), *out->probability);
+  } else {
+    std::printf("%s\n  = instance with %zu objects, %zu OPF rows:\n%s",
+                text.c_str(), out->instance->weak().num_objects(),
+                out->instance->TotalOpfEntries(),
+                SerializePxml(*out->instance).c_str());
+  }
+  return 0;
+}
+
+int RunDemo() {
+  GeneratorConfig config;
+  config.depth = 3;
+  config.branching = 3;
+  config.labeling = LabelingScheme::kFullyRandom;
+  config.seed = 2026;
+  auto inst = GenerateBalancedTree(config);
+  if (!inst.ok()) return Die(inst.status());
+  Status written = WritePxmlFile(*inst, "demo.pxml");
+  if (!written.ok()) return Die(written);
+  std::printf("wrote demo.pxml (%zu objects, %zu OPF rows)\n\n",
+              inst->weak().num_objects(), inst->TotalOpfEntries());
+
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    auto cond = GenerateObjectSelection(*inst, rng);
+    if (!cond.ok()) return Die(cond.status());
+    std::string path = cond->path.ToString(inst->dict());
+    RunQuery(*inst, "prob exists " + path);
+    RunQuery(*inst, "prob " + cond->ToString(inst->dict()));
+  }
+  auto cond = GenerateObjectSelection(*inst, rng);
+  if (!cond.ok()) return Die(cond.status());
+  std::printf("\nprojecting: project %s\n",
+              cond->path.ToString(inst->dict()).c_str());
+  auto q = ParseQuery(inst->dict(),
+                      "project " + cond->path.ToString(inst->dict()));
+  if (!q.ok()) return Die(q.status());
+  auto out = ExecuteQuery(*inst, *q);
+  if (!out.ok()) return Die(out.status());
+  std::printf("  -> %zu objects (from %zu)\n",
+              out->instance->weak().num_objects(),
+              inst->weak().num_objects());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+    return RunDemo();
+  }
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <file.pxml> \"<query>\" ...\n"
+                 "       %s --demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  auto inst = ReadPxmlFile(argv[1]);
+  if (!inst.ok()) return Die(inst.status());
+  Status valid = ValidateProbabilisticInstance(*inst);
+  if (!valid.ok()) return Die(valid);
+  for (int i = 2; i < argc; ++i) {
+    int rc = RunQuery(*inst, argv[i]);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

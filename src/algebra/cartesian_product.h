@@ -1,0 +1,42 @@
+#ifndef PXML_ALGEBRA_CARTESIAN_PRODUCT_H_
+#define PXML_ALGEBRA_CARTESIAN_PRODUCT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/probabilistic_instance.h"
+#include "core/semantics.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Cartesian product of probabilistic instances (Def 5.7): merges the two
+/// roots into a fresh root named `new_root_name`; all other objects,
+/// their local interpretations and cardinalities carry over, and the new
+/// root's OPF is the independent product ℘''(c ∪ c') = ℘(r)(c)·℘'(r')(c').
+///
+/// The two instances must have disjoint object names (rename first if
+/// needed — see RenameObjects); labels and types are merged by name, with
+/// same-named types required to have identical domains.
+Result<ProbabilisticInstance> CartesianProduct(
+    const ProbabilisticInstance& left, const ProbabilisticInstance& right,
+    std::string_view new_root_name);
+
+/// The global (possible-worlds) semantics of the product: each pair of
+/// worlds merges under the fresh root with probability p·p'. Oracle for
+/// the efficient version above. Both world lists must come from instances
+/// meeting the preconditions of CartesianProduct.
+Result<std::vector<World>> CartesianProductWorlds(
+    const std::vector<World>& left, const std::vector<World>& right,
+    std::string_view new_root_name);
+
+/// A copy of `instance` whose objects named in `renames` (old -> new) are
+/// re-interned under their new names; everything else is unchanged. New
+/// names must not collide with existing or other new names.
+Result<ProbabilisticInstance> RenameObjects(
+    const ProbabilisticInstance& instance,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+}  // namespace pxml
+
+#endif  // PXML_ALGEBRA_CARTESIAN_PRODUCT_H_

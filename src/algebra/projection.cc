@@ -1,0 +1,395 @@
+#include "algebra/projection.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "prob/distribution.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Mass below which a non-root object is considered impossible after
+/// projection and dropped from the result.
+constexpr double kDropEps = 1e-15;
+
+/// Copies a target's leaf data (type, witnessed value, VPF) into `out`.
+Status CopyLeafData(const ProbabilisticInstance& in, ObjectId o,
+                    ProbabilisticInstance* out) {
+  const WeakInstance& weak = in.weak();
+  auto type = weak.TypeOf(o);
+  if (!type.has_value()) return Status::Ok();
+  auto val = weak.ValueOf(o);
+  if (val.has_value()) {
+    PXML_RETURN_IF_ERROR(out->weak().SetLeafValue(o, *type, *val));
+  } else {
+    PXML_RETURN_IF_ERROR(out->weak().SetLeafType(o, *type));
+  }
+  if (const Vpf* vpf = in.GetVpf(o)) {
+    PXML_RETURN_IF_ERROR(out->SetVpf(o, *vpf));
+  }
+  return Status::Ok();
+}
+
+/// Tightens card(o, l) in `out` to the support of `table`.
+void SetCardFromSupport(ObjectId o, LabelId l,
+                        const std::vector<OpfEntry>& rows,
+                        WeakInstance* weak) {
+  std::uint32_t lo = IntInterval::kUnbounded;
+  std::uint32_t hi = 0;
+  for (const OpfEntry& e : rows) {
+    if (e.prob <= 0.0) continue;
+    std::uint32_t k = static_cast<std::uint32_t>(e.child_set.size());
+    lo = std::min(lo, k);
+    hi = std::max(hi, k);
+  }
+  if (lo == IntInterval::kUnbounded) {
+    lo = 0;
+    hi = 0;
+  }
+  // Ignore failures: o and l are known to be present.
+  weak->SetCard(o, l, IntInterval(lo, hi)).ok();
+}
+
+}  // namespace
+
+Result<ProbabilisticInstance> AncestorProject(
+    const ProbabilisticInstance& instance, const PathExpression& path,
+    ProjectionStats* stats) {
+  const WeakInstance& weak = instance.weak();
+  const std::size_t num_ids = weak.dict().num_objects();
+  PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+  if (path.start != weak.root()) {
+    return Status::InvalidArgument(
+        "ancestor projection paths must start at the root");
+  }
+
+  // ---- Locate: the pruned layers K_0..K_n of potential matches.
+  Clock::time_point t0 = Clock::now();
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(weak, path));
+  Clock::time_point t1 = Clock::now();
+  if (stats != nullptr) stats->locate_seconds = Seconds(t0, t1);
+
+  const std::size_t n = path.labels.size();
+  ProbabilisticInstance out;
+  out.weak().SetDictionary(weak.dict());
+  out.weak().AddObjectById(weak.root()).ok();
+  PXML_RETURN_IF_ERROR(out.weak().SetRoot(weak.root()));
+
+  // Degenerate cases: an empty path projects onto the bare root (keeping
+  // its leaf data if the root is a W-leaf); a structurally unmatched path
+  // yields the bare root with ℘'(r)({}) = 1, here represented by the root
+  // having no lch at all.
+  if (n == 0) {
+    if (weak.IsLeaf(weak.root())) {
+      PXML_RETURN_IF_ERROR(CopyLeafData(instance, weak.root(), &out));
+    }
+    if (stats != nullptr) stats->kept_objects = 1;
+    return out;
+  }
+  if (layers.back().empty()) {
+    if (stats != nullptr) stats->kept_objects = 1;
+    return out;
+  }
+
+  // ---- Bottom-up ℘ update (marginalize, ε, normalize).
+  Clock::time_point t2 = Clock::now();
+  std::vector<double> eps(num_ids, 0.0);
+  std::vector<char> dropped(num_ids, 0);
+  // Targets survive with probability 1.
+  for (ObjectId o : layers[n]) eps[o] = 1.0;
+
+  // New OPF tables for objects at depths n-1 .. 0.
+  std::vector<std::unique_ptr<ExplicitOpf>> new_opf(num_ids);
+  std::size_t processed = 0;
+
+  for (std::size_t level = n; level-- > 0;) {
+    const bool children_are_targets = (level + 1 == n);
+    const LabelId l = path.labels[level];
+    for (ObjectId o : layers[level]) {
+      // Retained children: potential l-children that are still alive in
+      // the next layer.
+      std::vector<std::uint32_t> retained;
+      for (ObjectId c : weak.Lch(o, l).Intersect(layers[level + 1])) {
+        if (!dropped[c]) retained.push_back(c);
+      }
+      const Opf* opf = instance.GetOpf(o);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("non-leaf '", weak.dict().ObjectName(o),
+                   "' has no OPF"));
+      }
+      if (retained.size() > 20) {
+        return Status::InvalidArgument(
+            "projection update too wide (>20 retained children)");
+      }
+      // Dense accumulation indexed by bitmask over the retained children
+      // (subset-of-retained -> probability). Keeps the inner loop free of
+      // allocation; complexity is quadratic in the OPF size, matching the
+      // paper's observation.
+      IdSet retained_set(std::move(retained));
+      const std::vector<std::uint32_t>& rids = retained_set.ids();
+      std::vector<double> acc(std::size_t{1} << rids.size(), 0.0);
+      auto mask_of = [&](const IdSet& part) {
+        std::size_t mask = 0;
+        for (std::size_t b = 0; b < rids.size(); ++b) {
+          if (part.Contains(rids[b])) mask |= std::size_t{1} << b;
+        }
+        return mask;
+      };
+      for (const OpfEntry& row : opf->Entries()) {
+        ++processed;
+        if (row.prob <= 0.0) continue;
+        std::size_t part = mask_of(row.child_set.Intersect(retained_set));
+        if (children_are_targets) {
+          // Targets have ε = 1: pure marginalization onto the retained
+          // children (the paper's first bullet).
+          acc[part] += row.prob;
+          continue;
+        }
+        // General level: distribute the row over subsets of its retained
+        // children, weighting members by ε and non-members by (1 - ε)
+        // (the paper's third bullet). Iterate submasks of `part`.
+        std::size_t sub = part;
+        for (;;) {
+          double w = row.prob;
+          for (std::size_t b = 0; b < rids.size(); ++b) {
+            std::size_t bit = std::size_t{1} << b;
+            if (!(part & bit)) continue;
+            w *= (sub & bit) ? eps[rids[b]] : 1.0 - eps[rids[b]];
+          }
+          acc[sub] += w;
+          if (sub == 0) break;
+          sub = (sub - 1) & part;
+        }
+      }
+      // ε_o: mass of non-empty child sets.
+      double e = 0.0;
+      for (std::size_t mask = 1; mask < acc.size(); ++mask) e += acc[mask];
+      eps[o] = e;
+      std::size_t first_mask = 0;
+      if (level > 0) {
+        if (e <= kDropEps) {
+          dropped[o] = 1;
+          continue;
+        }
+        // Normalize: condition on having a surviving child.
+        first_mask = 1;
+        for (std::size_t mask = 1; mask < acc.size(); ++mask) acc[mask] /= e;
+      }
+      std::vector<OpfEntry> rows;
+      for (std::size_t mask = first_mask; mask < acc.size(); ++mask) {
+        if (acc[mask] <= 0.0 && mask != 0) continue;
+        std::vector<std::uint32_t> members;
+        for (std::size_t b = 0; b < rids.size(); ++b) {
+          if (mask & (std::size_t{1} << b)) members.push_back(rids[b]);
+        }
+        rows.push_back(OpfEntry{IdSet(std::move(members)), acc[mask]});
+      }
+      new_opf[o] = std::make_unique<ExplicitOpf>(
+          ExplicitOpf::FromEntries(std::move(rows)));
+    }
+  }
+  Clock::time_point t3 = Clock::now();
+  if (stats != nullptr) {
+    stats->update_seconds = Seconds(t2, t3);
+    stats->processed_entries = processed;
+  }
+
+  // ---- Build the projected structure.
+  // Walk top-down keeping only objects whose parents survive.
+  std::vector<char> kept(num_ids, 0);
+  kept[weak.root()] = 1;
+  for (std::size_t level = 0; level < n; ++level) {
+    const LabelId l = path.labels[level];
+    for (ObjectId o : layers[level]) {
+      if (!kept[o] || dropped[o] || new_opf[o] == nullptr) continue;
+      IdSet universe = new_opf[o]->ChildUniverse();
+      for (ObjectId c : universe) {
+        kept[c] = 1;
+        out.weak().AddObjectById(c).ok();
+        PXML_RETURN_IF_ERROR(out.weak().AddPotentialChild(o, l, c));
+      }
+    }
+  }
+  for (std::size_t level = 0; level < n; ++level) {
+    const LabelId l = path.labels[level];
+    for (ObjectId o : layers[level]) {
+      if (!kept[o] || dropped[o] || new_opf[o] == nullptr) continue;
+      std::vector<OpfEntry> rows = new_opf[o]->Entries();
+      SetCardFromSupport(o, l, rows, &out.weak());
+      PXML_RETURN_IF_ERROR(out.SetOpf(o, std::move(new_opf[o])));
+    }
+  }
+  // Targets keep their leaf data.
+  for (ObjectId o : layers[n]) {
+    if (kept[o] && weak.IsLeaf(o)) {
+      PXML_RETURN_IF_ERROR(CopyLeafData(instance, o, &out));
+    }
+  }
+  Clock::time_point t4 = Clock::now();
+  if (stats != nullptr) {
+    stats->structure_seconds = Seconds(t3, t4);
+    stats->kept_objects = out.weak().num_objects();
+  }
+  return out;
+}
+
+Result<ProbabilisticInstance> SingleProject(
+    const ProbabilisticInstance& instance, const PathExpression& path,
+    ProjectionStats* stats, std::size_t max_targets) {
+  const WeakInstance& weak = instance.weak();
+  PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+  if (path.start != weak.root()) {
+    return Status::InvalidArgument(
+        "single projection paths must start at the root");
+  }
+  if (path.labels.empty()) {
+    return AncestorProject(instance, path, stats);
+  }
+  Clock::time_point t0 = Clock::now();
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(weak, path));
+  Clock::time_point t1 = Clock::now();
+  if (stats != nullptr) stats->locate_seconds = Seconds(t0, t1);
+  const std::size_t n = path.labels.size();
+
+  ProbabilisticInstance out;
+  out.weak().SetDictionary(weak.dict());
+  out.weak().AddObjectById(weak.root()).ok();
+  PXML_RETURN_IF_ERROR(out.weak().SetRoot(weak.root()));
+  if (layers[n].empty()) {
+    if (stats != nullptr) stats->kept_objects = 1;
+    return out;
+  }
+  if (layers[n].size() > max_targets) {
+    return Status::InvalidArgument(StrCat(
+        "single projection over ", layers[n].size(),
+        " targets exceeds the cap of ", max_targets,
+        " (the result OPF is a joint over target subsets); use the "
+        "ProjectWorlds oracle"));
+  }
+
+  // Bottom-up: per object, the distribution over which target subsets
+  // survive in its subtree, given the object exists.
+  Clock::time_point t2 = Clock::now();
+  std::vector<std::unordered_map<IdSet, double, IdSetHash>> dist(
+      weak.dict().num_objects());
+  for (ObjectId o : layers[n]) dist[o] = {{IdSet{o}, 1.0}};
+  std::size_t processed = 0;
+  for (std::size_t level = n; level-- > 0;) {
+    const LabelId l = path.labels[level];
+    for (ObjectId o : layers[level]) {
+      const IdSet retained = weak.Lch(o, l).Intersect(layers[level + 1]);
+      const Opf* opf = instance.GetOpf(o);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("non-leaf '", weak.dict().ObjectName(o),
+                   "' has no OPF"));
+      }
+      std::unordered_map<IdSet, double, IdSetHash> acc;
+      for (const OpfEntry& row : opf->Entries()) {
+        ++processed;
+        if (row.prob <= 0.0) continue;
+        // Convolve (by disjoint union) the children's subset
+        // distributions.
+        std::unordered_map<IdSet, double, IdSetHash> row_dist{
+            {IdSet(), row.prob}};
+        for (ObjectId c : row.child_set.Intersect(retained)) {
+          std::unordered_map<IdSet, double, IdSetHash> next;
+          for (const auto& [sa, pa] : row_dist) {
+            for (const auto& [sb, pb] : dist[c]) {
+              next[sa.Union(sb)] += pa * pb;
+            }
+          }
+          row_dist = std::move(next);
+        }
+        for (const auto& [s, p] : row_dist) acc[s] += p;
+      }
+      dist[o] = std::move(acc);
+    }
+  }
+  Clock::time_point t3 = Clock::now();
+  if (stats != nullptr) {
+    stats->update_seconds = Seconds(t2, t3);
+    stats->processed_entries = processed;
+  }
+
+  // Structure: root + targets under the path's final label; the root's
+  // OPF is the computed joint.
+  const LabelId last = path.labels[n - 1];
+  for (ObjectId t : layers[n]) {
+    out.weak().AddObjectById(t).ok();
+    PXML_RETURN_IF_ERROR(
+        out.weak().AddPotentialChild(weak.root(), last, t));
+    if (weak.IsLeaf(t)) {
+      PXML_RETURN_IF_ERROR(CopyLeafData(instance, t, &out));
+    }
+  }
+  std::vector<OpfEntry> rows;
+  rows.reserve(dist[weak.root()].size());
+  for (const auto& [s, p] : dist[weak.root()]) {
+    rows.push_back(OpfEntry{s, p});
+  }
+  auto root_opf =
+      std::make_unique<ExplicitOpf>(ExplicitOpf::FromEntries(std::move(rows)));
+  std::vector<OpfEntry> support = root_opf->Entries();
+  SetCardFromSupport(weak.root(), last, support, &out.weak());
+  PXML_RETURN_IF_ERROR(out.SetOpf(weak.root(), std::move(root_opf)));
+  Clock::time_point t4 = Clock::now();
+  if (stats != nullptr) {
+    stats->structure_seconds = Seconds(t3, t4);
+    stats->kept_objects = out.weak().num_objects();
+  }
+  return out;
+}
+
+Result<ProbabilisticInstance> DescendantProject(
+    const ProbabilisticInstance& instance, const PathExpression& path,
+    ProjectionStats* stats) {
+  PXML_ASSIGN_OR_RETURN(ProbabilisticInstance out,
+                        AncestorProject(instance, path, stats));
+  const WeakInstance& weak = instance.weak();
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(weak, path));
+  if (path.labels.empty()) return out;
+
+  // Re-attach every kept target's original subtree; the local
+  // interpretation below a target is untouched (targets survive with
+  // probability 1).
+  std::vector<ObjectId> frontier;
+  for (ObjectId o : layers.back()) {
+    if (out.weak().Present(o)) frontier.push_back(o);
+  }
+  while (!frontier.empty()) {
+    ObjectId o = frontier.back();
+    frontier.pop_back();
+    if (weak.IsLeaf(o)) {
+      PXML_RETURN_IF_ERROR(CopyLeafData(instance, o, &out));
+      continue;
+    }
+    for (LabelId l : weak.LabelsOf(o)) {
+      for (ObjectId c : weak.Lch(o, l)) {
+        out.weak().AddObjectById(c).ok();
+        PXML_RETURN_IF_ERROR(out.weak().AddPotentialChild(o, l, c));
+        frontier.push_back(c);
+      }
+      PXML_RETURN_IF_ERROR(out.weak().SetCard(o, l, weak.Card(o, l)));
+    }
+    if (const Opf* opf = instance.GetOpf(o)) {
+      PXML_RETURN_IF_ERROR(out.SetOpf(o, opf->Clone()));
+    }
+  }
+  if (stats != nullptr) stats->kept_objects = out.weak().num_objects();
+  return out;
+}
+
+}  // namespace pxml

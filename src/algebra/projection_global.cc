@@ -1,0 +1,160 @@
+#include "algebra/projection_global.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// Copies object `o` (membership, and type/value if it is to stay a
+/// leaf-with-value) into `out`.
+Status CopyObject(const SemistructuredInstance& in, ObjectId o,
+                  bool keep_value, SemistructuredInstance* out) {
+  PXML_RETURN_IF_ERROR(out->AddObjectById(o));
+  if (keep_value && in.TypeOf(o).has_value() && in.ValueOf(o).has_value()) {
+    PXML_RETURN_IF_ERROR(
+        out->SetLeafValue(o, *in.TypeOf(o), *in.ValueOf(o)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SemistructuredInstance> AncestorProjectInstance(
+    const SemistructuredInstance& instance, const PathExpression& path) {
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedPathLayers(instance, path));
+  SemistructuredInstance out;
+  out.SetDictionary(instance.dict());
+
+  // The root is always kept.
+  PXML_RETURN_IF_ERROR(CopyObject(instance, path.start,
+                                  /*keep_value=*/path.labels.empty() &&
+                                      instance.IsLeaf(path.start),
+                                  &out));
+  PXML_RETURN_IF_ERROR(out.SetRoot(path.start));
+
+  // Kept objects: union of the pruned layers. Targets (final layer) that
+  // were leaves keep their values; everything else becomes structural.
+  for (std::size_t i = 1; i < layers.size(); ++i) {
+    bool is_target_layer = (i + 1 == layers.size());
+    for (ObjectId o : layers[i]) {
+      if (!out.Present(o)) {
+        PXML_RETURN_IF_ERROR(CopyObject(
+            instance, o, is_target_layer && instance.IsLeaf(o), &out));
+      }
+    }
+  }
+  // Kept edges: between consecutive layers with the path's label.
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+    LabelId l = path.labels[i];
+    for (ObjectId o : layers[i]) {
+      for (const Edge& e : instance.Children(o)) {
+        if (e.label == l && layers[i + 1].Contains(e.child) &&
+            !out.EdgeLabel(o, e.child).has_value()) {
+          PXML_RETURN_IF_ERROR(out.AddEdge(o, l, e.child));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<SemistructuredInstance> DescendantProjectInstance(
+    const SemistructuredInstance& instance, const PathExpression& path) {
+  PXML_ASSIGN_OR_RETURN(SemistructuredInstance out,
+                        AncestorProjectInstance(instance, path));
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedPathLayers(instance, path));
+  // Add every descendant of a target, with its full subtree.
+  IdSet frontier = layers.back();
+  std::vector<ObjectId> stack(frontier.begin(), frontier.end());
+  while (!stack.empty()) {
+    ObjectId o = stack.back();
+    stack.pop_back();
+    for (const Edge& e : instance.Children(o)) {
+      if (!out.Present(e.child)) {
+        PXML_RETURN_IF_ERROR(CopyObject(instance, e.child,
+                                        instance.IsLeaf(e.child), &out));
+        stack.push_back(e.child);
+      }
+      if (!out.EdgeLabel(o, e.child).has_value()) {
+        PXML_RETURN_IF_ERROR(out.AddEdge(o, e.label, e.child));
+      }
+    }
+    // A target that keeps its children also keeps its own value if it was
+    // a leaf; CopyObject handled non-targets, handle targets here.
+    if (instance.IsLeaf(o) && instance.TypeOf(o).has_value() &&
+        instance.ValueOf(o).has_value() && !out.ValueOf(o).has_value()) {
+      PXML_RETURN_IF_ERROR(
+          out.SetLeafValue(o, *instance.TypeOf(o), *instance.ValueOf(o)));
+    }
+  }
+  return out;
+}
+
+Result<SemistructuredInstance> SingleProjectInstance(
+    const SemistructuredInstance& instance, const PathExpression& path) {
+  if (path.labels.empty()) {
+    return AncestorProjectInstance(instance, path);
+  }
+  PXML_ASSIGN_OR_RETURN(IdSet targets, EvaluatePath(instance, path));
+  SemistructuredInstance out;
+  out.SetDictionary(instance.dict());
+  PXML_RETURN_IF_ERROR(out.AddObjectById(path.start));
+  PXML_RETURN_IF_ERROR(out.SetRoot(path.start));
+  LabelId last = path.labels.back();
+  for (ObjectId o : targets) {
+    if (o == path.start) continue;
+    PXML_RETURN_IF_ERROR(CopyObject(instance, o, instance.IsLeaf(o), &out));
+    PXML_RETURN_IF_ERROR(out.AddEdge(path.start, last, o));
+  }
+  return out;
+}
+
+std::vector<World> MergeIdenticalWorlds(std::vector<World> worlds) {
+  std::map<std::string, World> merged;
+  for (World& w : worlds) {
+    std::string key = w.instance.Fingerprint();
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(std::move(key), std::move(w));
+    } else {
+      it->second.prob += w.prob;
+    }
+  }
+  std::vector<World> out;
+  out.reserve(merged.size());
+  for (auto& [key, w] : merged) out.push_back(std::move(w));
+  return out;
+}
+
+Result<std::vector<World>> ProjectWorlds(const std::vector<World>& worlds,
+                                         const PathExpression& path,
+                                         ProjectionKind kind) {
+  std::vector<World> projected;
+  projected.reserve(worlds.size());
+  for (const World& w : worlds) {
+    Result<SemistructuredInstance> r = [&]() {
+      switch (kind) {
+        case ProjectionKind::kAncestor:
+          return AncestorProjectInstance(w.instance, path);
+        case ProjectionKind::kDescendant:
+          return DescendantProjectInstance(w.instance, path);
+        case ProjectionKind::kSingle:
+          return SingleProjectInstance(w.instance, path);
+      }
+      return Result<SemistructuredInstance>(
+          Status::Internal("unknown projection kind"));
+    }();
+    if (!r.ok()) return r.status();
+    projected.push_back(World{std::move(r.value()), w.prob});
+  }
+  return MergeIdenticalWorlds(std::move(projected));
+}
+
+}  // namespace pxml

@@ -1,0 +1,52 @@
+#ifndef PXML_ALGEBRA_PROJECTION_GLOBAL_H_
+#define PXML_ALGEBRA_PROJECTION_GLOBAL_H_
+
+#include <vector>
+
+#include "core/semantics.h"
+#include "graph/instance.h"
+#include "graph/path.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Ancestor projection Λ_p on an ordinary semistructured instance
+/// (Def 5.2): keeps the objects satisfying p, the objects on some full
+/// root-to-target label path, and the root; keeps exactly the edges lying
+/// on those paths. Kept objects that were leaves keep their type/value;
+/// kept objects whose children were all dropped become bare leaves
+/// (Fig 4).
+Result<SemistructuredInstance> AncestorProjectInstance(
+    const SemistructuredInstance& instance, const PathExpression& path);
+
+/// Descendant projection (named in §5.1; details our own): keeps the
+/// objects satisfying p together with all their descendants (and the
+/// descendants' edges), re-rooted under the original root via the pruned
+/// path edges.
+Result<SemistructuredInstance> DescendantProjectInstance(
+    const SemistructuredInstance& instance, const PathExpression& path);
+
+/// Single projection (named in §5.1; details our own): keeps only the
+/// root and the objects satisfying p, each attached directly to the root
+/// by an edge carrying p's final label.
+Result<SemistructuredInstance> SingleProjectInstance(
+    const SemistructuredInstance& instance, const PathExpression& path);
+
+/// The flavor of projection to apply.
+enum class ProjectionKind { kAncestor, kDescendant, kSingle };
+
+/// The global (possible-worlds) semantics of projection on a
+/// probabilistic instance (Def 5.3): projects every world and merges
+/// identical results by summing their probabilities. This is the oracle
+/// the efficient Section-6 algorithm is tested against.
+Result<std::vector<World>> ProjectWorlds(
+    const std::vector<World>& worlds, const PathExpression& path,
+    ProjectionKind kind = ProjectionKind::kAncestor);
+
+/// Merges worlds with identical instances by summing probabilities;
+/// output is deterministically ordered by instance fingerprint.
+std::vector<World> MergeIdenticalWorlds(std::vector<World> worlds);
+
+}  // namespace pxml
+
+#endif  // PXML_ALGEBRA_PROJECTION_GLOBAL_H_

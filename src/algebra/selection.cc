@@ -1,0 +1,206 @@
+#include "algebra/selection.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "prob/distribution.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// The unique chain root = a_0, a_1, ..., a_k = target in a tree-shaped
+/// weak instance, verified against the path's labels. Fails if the target
+/// is not reached by the path.
+Result<std::vector<ObjectId>> AncestorChain(const WeakInstance& weak,
+                                            const PathExpression& path,
+                                            ObjectId target) {
+  std::vector<ObjectId> chain{target};
+  ObjectId cur = target;
+  for (std::size_t i = path.labels.size(); i-- > 0;) {
+    const std::vector<ObjectId>& parents = weak.PotentialParents(cur);
+    if (parents.size() != 1) {
+      return Status::FailedPrecondition(
+          StrCat("object id ", cur, " has ", parents.size(),
+                 " potential parents; efficient selection needs a tree"));
+    }
+    ObjectId parent = parents[0];
+    if (!weak.Lch(parent, path.labels[i]).Contains(cur)) {
+      return Status::FailedPrecondition(
+          "target is not reached by the path expression (label mismatch)");
+    }
+    chain.push_back(parent);
+    cur = parent;
+  }
+  if (cur != path.start) {
+    return Status::FailedPrecondition(
+        "target is not reached by the path expression (wrong start)");
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+/// Conditions ℘(o) on containing `child`; returns the pre-conditioning
+/// mass m = P(child ∈ c) and installs the conditioned OPF in `out`.
+Result<double> ConditionOpfOnChild(const ProbabilisticInstance& in,
+                                   ObjectId o, ObjectId child,
+                                   ProbabilisticInstance* out) {
+  const Opf* opf = in.GetOpf(o);
+  if (opf == nullptr) {
+    return Status::FailedPrecondition(
+        StrCat("non-leaf '", in.dict().ObjectName(o), "' has no OPF"));
+  }
+  if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
+    // §3.2 structure exploitation: conditioning an independent OPF on a
+    // child keeps it independent — set that child's probability to 1.
+    double mass = ind->MarginalChildProb(child);
+    if (mass <= kProbEps) {
+      return Status::FailedPrecondition(
+          StrCat("selection condition has probability ~0 at '",
+                 in.dict().ObjectName(o), "'"));
+    }
+    auto conditioned = std::make_unique<IndependentOpf>();
+    for (const auto& [c, p] : ind->children()) {
+      PXML_RETURN_IF_ERROR(conditioned->AddChild(c, c == child ? 1.0 : p));
+    }
+    PXML_RETURN_IF_ERROR(out->SetOpf(o, std::move(conditioned)));
+    return mass;
+  }
+  double mass = 0.0;
+  auto conditioned = std::make_unique<ExplicitOpf>();
+  for (const OpfEntry& row : opf->Entries()) {
+    if (row.child_set.Contains(child)) {
+      mass += row.prob;
+      if (row.prob > 0.0) conditioned->Set(row.child_set, row.prob);
+    }
+  }
+  if (mass <= kProbEps) {
+    return Status::FailedPrecondition(
+        StrCat("selection condition has probability ~0 at '",
+               in.dict().ObjectName(o), "'"));
+  }
+  PXML_RETURN_IF_ERROR(conditioned->Normalize());
+  PXML_RETURN_IF_ERROR(out->SetOpf(o, std::move(conditioned)));
+  return mass;
+}
+
+}  // namespace
+
+Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
+                                     const SelectionCondition& condition,
+                                     SelectionStats* stats) {
+  const WeakInstance& weak = instance.weak();
+  PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+
+  // ---- Locate the target and its ancestor chain.
+  Clock::time_point t0 = Clock::now();
+  ObjectId target = kInvalidId;
+  if (condition.kind == SelectionCondition::Kind::kObject) {
+    target = condition.object;
+  } else {
+    PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                          PrunedWeakPathLayers(weak, condition.path));
+    if (layers.back().size() != 1) {
+      return Status::Unimplemented(StrCat(
+          "efficient value/cardinality selection supports exactly one ",
+          "object satisfying the path; found ", layers.back().size(),
+          " — use the global SelectWorlds oracle"));
+    }
+    target = layers.back()[0];
+  }
+  if (!weak.Present(target)) {
+    return Status::FailedPrecondition("selection target is not in V");
+  }
+  PXML_ASSIGN_OR_RETURN(std::vector<ObjectId> chain,
+                        AncestorChain(weak, condition.path, target));
+  Clock::time_point t1 = Clock::now();
+
+  // ---- Copy the instance, then condition ℘ along the chain.
+  ProbabilisticInstance out = instance;
+  Clock::time_point t2 = Clock::now();
+  double condition_prob = 1.0;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    PXML_ASSIGN_OR_RETURN(
+        double m, ConditionOpfOnChild(instance, chain[i], chain[i + 1],
+                                      &out));
+    condition_prob *= m;
+  }
+  std::size_t updated = chain.size() > 0 ? chain.size() - 1 : 0;
+  if (condition.kind == SelectionCondition::Kind::kValue) {
+    // Restrict the target's VPF to the values satisfying `op value`.
+    const Vpf* vpf = instance.GetVpf(target);
+    auto type = weak.TypeOf(target);
+    if (vpf == nullptr || !type.has_value()) {
+      return Status::FailedPrecondition(
+          "value selection target has no VPF/type");
+    }
+    Vpf restricted;
+    double mass = 0.0;
+    for (const Vpf::Entry& e : vpf->Entries()) {
+      if (EvalValueOp(e.value, condition.value_op, condition.value)) {
+        restricted.Set(e.value, e.prob);
+        mass += e.prob;
+      }
+    }
+    if (mass <= kProbEps) {
+      return Status::FailedPrecondition(
+          "value condition has probability ~0 at the target");
+    }
+    condition_prob *= mass;
+    PXML_RETURN_IF_ERROR(restricted.Normalize());
+    PXML_RETURN_IF_ERROR(out.SetVpf(target, std::move(restricted)));
+    ++updated;
+  } else if (condition.kind == SelectionCondition::Kind::kCardinality) {
+    // Restrict the target's OPF to rows whose l-labeled child count lies
+    // in the range (a weak-instance leaf always has count 0).
+    if (weak.IsLeaf(target)) {
+      if (!condition.count_range.Contains(0)) {
+        return Status::FailedPrecondition(
+            "cardinality condition has probability 0 at a leaf target");
+      }
+    } else {
+      const Opf* opf = instance.GetOpf(target);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            "cardinality selection target has no OPF");
+      }
+      const IdSet& lch = weak.Lch(target, condition.count_label);
+      auto restricted = std::make_unique<ExplicitOpf>();
+      double mass = 0.0;
+      for (const OpfEntry& row : opf->Entries()) {
+        std::uint32_t k = static_cast<std::uint32_t>(
+            row.child_set.Intersect(lch).size());
+        if (condition.count_range.Contains(k)) {
+          mass += row.prob;
+          if (row.prob > 0.0) restricted->Set(row.child_set, row.prob);
+        }
+      }
+      if (mass <= kProbEps) {
+        return Status::FailedPrecondition(
+            "cardinality condition has probability ~0 at the target");
+      }
+      condition_prob *= mass;
+      PXML_RETURN_IF_ERROR(restricted->Normalize());
+      PXML_RETURN_IF_ERROR(out.SetOpf(target, std::move(restricted)));
+      ++updated;
+    }
+  }
+  Clock::time_point t3 = Clock::now();
+
+  if (stats != nullptr) {
+    stats->locate_seconds = Seconds(t0, t1);
+    stats->update_seconds = Seconds(t2, t3);
+    stats->condition_prob = condition_prob;
+    stats->updated_objects = updated;
+  }
+  return out;
+}
+
+}  // namespace pxml

@@ -1,0 +1,116 @@
+#include "algebra/selection_global.h"
+
+#include "prob/distribution.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+const char* ValueOpName(ValueOp op) {
+  switch (op) {
+    case ValueOp::kEq:
+      return "=";
+    case ValueOp::kNe:
+      return "!=";
+    case ValueOp::kLt:
+      return "<";
+    case ValueOp::kLe:
+      return "<=";
+    case ValueOp::kGt:
+      return ">";
+    case ValueOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalValueOp(const Value& lhs, ValueOp op, const Value& rhs) {
+  std::optional<int> cmp = lhs.Compare(rhs);
+  if (!cmp.has_value()) return op == ValueOp::kNe;
+  switch (op) {
+    case ValueOp::kEq:
+      return *cmp == 0;
+    case ValueOp::kNe:
+      return *cmp != 0;
+    case ValueOp::kLt:
+      return *cmp < 0;
+    case ValueOp::kLe:
+      return *cmp <= 0;
+    case ValueOp::kGt:
+      return *cmp > 0;
+    case ValueOp::kGe:
+      return *cmp >= 0;
+  }
+  return false;
+}
+
+std::string SelectionCondition::ToString(const Dictionary& dict) const {
+  switch (kind) {
+    case Kind::kObject:
+      return StrCat(path.ToString(dict), " = ",
+                    object < dict.num_objects()
+                        ? dict.ObjectName(object)
+                        : std::string("<invalid>"));
+    case Kind::kValue:
+      return StrCat("val(", path.ToString(dict), ") ",
+                    ValueOpName(value_op), " ", value.ToString());
+    case Kind::kCardinality:
+      return StrCat("count(", path.ToString(dict), ", ",
+                    count_label < dict.num_labels()
+                        ? dict.LabelName(count_label)
+                        : std::string("<?>"),
+                    ") in ", count_range.ToString());
+  }
+  return "<invalid condition>";
+}
+
+Result<bool> InstanceSatisfies(const SemistructuredInstance& instance,
+                               const SelectionCondition& condition) {
+  if (!instance.Present(condition.path.start)) {
+    // A world may simply not contain the path start; it does not satisfy.
+    return false;
+  }
+  PXML_ASSIGN_OR_RETURN(IdSet reached,
+                        EvaluatePath(instance, condition.path));
+  switch (condition.kind) {
+    case SelectionCondition::Kind::kObject:
+      return reached.Contains(condition.object);
+    case SelectionCondition::Kind::kValue:
+      for (ObjectId o : reached) {
+        auto v = instance.ValueOf(o);
+        if (v.has_value() &&
+            EvalValueOp(*v, condition.value_op, condition.value)) {
+          return true;
+        }
+      }
+      return false;
+    case SelectionCondition::Kind::kCardinality:
+      for (ObjectId o : reached) {
+        std::uint32_t k = static_cast<std::uint32_t>(
+            instance.LabeledChildren(o, condition.count_label).size());
+        if (condition.count_range.Contains(k)) return true;
+      }
+      return false;
+  }
+  return Status::Internal("unknown selection condition kind");
+}
+
+Result<std::vector<World>> SelectWorlds(const std::vector<World>& worlds,
+                                        const SelectionCondition& condition) {
+  std::vector<World> selected;
+  double mass = 0.0;
+  for (const World& w : worlds) {
+    PXML_ASSIGN_OR_RETURN(bool sat, InstanceSatisfies(w.instance, condition));
+    if (sat) {
+      selected.push_back(w);
+      mass += w.prob;
+    }
+  }
+  if (mass <= kProbEps) {
+    return Status::FailedPrecondition(
+        "selection condition has probability ~0; cannot normalize");
+  }
+  for (World& w : selected) w.prob /= mass;
+  return selected;
+}
+
+}  // namespace pxml

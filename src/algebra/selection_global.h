@@ -1,0 +1,87 @@
+#ifndef PXML_ALGEBRA_SELECTION_GLOBAL_H_
+#define PXML_ALGEBRA_SELECTION_GLOBAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/semantics.h"
+#include "graph/instance.h"
+#include "graph/path.h"
+#include "prob/value.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Comparison operator used by value conditions.
+enum class ValueOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// "=", "!=", "<", "<=", ">", ">=".
+const char* ValueOpName(ValueOp op);
+
+/// True iff `lhs op rhs`. Values of different kinds are unordered: only
+/// kNe holds across kinds.
+bool EvalValueOp(const Value& lhs, ValueOp op, const Value& rhs);
+
+/// A selection condition. The paper defines object conditions "p = o"
+/// (Def 5.4) and value conditions "val(p) = v" (Def 5.5), and notes
+/// (§5.2) that "other kinds of selection conditions with comparisons
+/// based on, for example, cardinality ... work in a similar way" — so we
+/// also support value comparisons (val(p) op v) and cardinality
+/// conditions (some object reached by p has an l-labeled child count in
+/// a given interval).
+struct SelectionCondition {
+  enum class Kind { kObject, kValue, kCardinality };
+
+  Kind kind = Kind::kObject;
+  PathExpression path;
+  ObjectId object = kInvalidId;           // kObject
+  Value value;                            // kValue
+  ValueOp value_op = ValueOp::kEq;        // kValue
+  LabelId count_label = kInvalidId;       // kCardinality
+  IntInterval count_range;                // kCardinality
+
+  static SelectionCondition ObjectEquals(PathExpression p, ObjectId o) {
+    SelectionCondition c;
+    c.kind = Kind::kObject;
+    c.path = std::move(p);
+    c.object = o;
+    return c;
+  }
+  static SelectionCondition ValueEquals(PathExpression p, Value v) {
+    return ValueCompare(std::move(p), ValueOp::kEq, std::move(v));
+  }
+  static SelectionCondition ValueCompare(PathExpression p, ValueOp op,
+                                         Value v) {
+    SelectionCondition c;
+    c.kind = Kind::kValue;
+    c.path = std::move(p);
+    c.value_op = op;
+    c.value = std::move(v);
+    return c;
+  }
+  static SelectionCondition CardinalityIn(PathExpression p, LabelId label,
+                                          IntInterval range) {
+    SelectionCondition c;
+    c.kind = Kind::kCardinality;
+    c.path = std::move(p);
+    c.count_label = label;
+    c.count_range = range;
+    return c;
+  }
+
+  std::string ToString(const Dictionary& dict) const;
+};
+
+/// True iff the (ordinary) instance satisfies the condition.
+Result<bool> InstanceSatisfies(const SemistructuredInstance& instance,
+                               const SelectionCondition& condition);
+
+/// The global semantics of selection (Def 5.6): keeps the worlds
+/// satisfying the condition and renormalizes their probabilities. Fails
+/// with FailedPrecondition if no world satisfies it (zero-mass event).
+Result<std::vector<World>> SelectWorlds(const std::vector<World>& worlds,
+                                        const SelectionCondition& condition);
+
+}  // namespace pxml
+
+#endif  // PXML_ALGEBRA_SELECTION_GLOBAL_H_

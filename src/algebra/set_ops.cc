@@ -1,0 +1,93 @@
+#include "algebra/set_ops.h"
+
+#include <map>
+
+#include "algebra/cartesian_product.h"
+#include "algebra/projection_global.h"
+#include "algebra/selection.h"
+#include "core/factoring.h"
+#include "prob/distribution.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<std::vector<World>> UnionWorlds(const std::vector<World>& left,
+                                       const std::vector<World>& right,
+                                       double alpha) {
+  if (!(alpha >= 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument(
+        StrCat("mixture weight ", alpha, " outside [0,1]"));
+  }
+  std::vector<World> all;
+  all.reserve(left.size() + right.size());
+  for (const World& w : left) {
+    all.push_back(World{w.instance, alpha * w.prob});
+  }
+  for (const World& w : right) {
+    all.push_back(World{w.instance, (1.0 - alpha) * w.prob});
+  }
+  return MergeIdenticalWorlds(std::move(all));
+}
+
+Result<std::vector<World>> IntersectWorlds(const std::vector<World>& left,
+                                           const std::vector<World>& right) {
+  std::map<std::string, double> right_probs;
+  for (const World& w : right) {
+    right_probs[w.instance.Fingerprint()] += w.prob;
+  }
+  std::vector<World> out;
+  double mass = 0.0;
+  for (const World& w : left) {
+    auto it = right_probs.find(w.instance.Fingerprint());
+    if (it == right_probs.end()) continue;
+    double p = w.prob * it->second;
+    if (p <= 0.0) continue;
+    out.push_back(World{w.instance, p});
+    mass += p;
+  }
+  if (mass <= kProbEps) {
+    return Status::FailedPrecondition(
+        "intersection has ~zero mass; cannot normalize");
+  }
+  for (World& w : out) w.prob /= mass;
+  return MergeIdenticalWorlds(std::move(out));
+}
+
+Result<std::vector<World>> JoinWorlds(const std::vector<World>& left,
+                                      const std::vector<World>& right,
+                                      std::string_view new_root_name,
+                                      const SelectionCondition& condition) {
+  PXML_ASSIGN_OR_RETURN(
+      std::vector<World> product,
+      CartesianProductWorlds(left, right, new_root_name));
+  return SelectWorlds(product, condition);
+}
+
+Result<ProbabilisticInstance> UnionInstances(
+    const ProbabilisticInstance& left, const ProbabilisticInstance& right,
+    double alpha) {
+  PXML_ASSIGN_OR_RETURN(std::vector<World> lw, EnumerateWorlds(left));
+  PXML_ASSIGN_OR_RETURN(std::vector<World> rw, EnumerateWorlds(right));
+  PXML_ASSIGN_OR_RETURN(std::vector<World> mixed,
+                        UnionWorlds(lw, rw, alpha));
+  PXML_ASSIGN_OR_RETURN(bool factors,
+                        GlobalSatisfiesWeakInstance(left.weak(), mixed));
+  if (!factors) {
+    return Status::FailedPrecondition(
+        "the mixture distribution does not factor through the weak "
+        "instance (Def 4.5); keep the worlds representation instead");
+  }
+  return FactorGlobalInterpretation(left.weak(), mixed);
+}
+
+Result<ProbabilisticInstance> Join(const ProbabilisticInstance& left,
+                                   const ProbabilisticInstance& right,
+                                   std::string_view new_root_name,
+                                   const SelectionCondition& condition) {
+  PXML_ASSIGN_OR_RETURN(
+      ProbabilisticInstance product,
+      CartesianProduct(left, right, new_root_name));
+  return Select(product, condition);
+}
+
+}  // namespace pxml

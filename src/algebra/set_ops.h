@@ -1,0 +1,59 @@
+#ifndef PXML_ALGEBRA_SET_OPS_H_
+#define PXML_ALGEBRA_SET_OPS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "algebra/selection_global.h"
+#include "core/probabilistic_instance.h"
+#include "core/semantics.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// The operators the paper defers to its longer version (union,
+/// intersection, join), realized here at the possible-worlds level — the
+/// only level at which they are well-defined for arbitrary inputs, since
+/// e.g. a mixture of two factored distributions need not factor again.
+/// Instance-level wrappers attempt to re-factor via Theorem 2.
+///
+/// Both world lists must share a dictionary (same ids for the same
+/// names), e.g. worlds of two instances derived from a common model.
+
+/// Mixture union: P = alpha·P1 + (1-alpha)·P2, identical worlds merged.
+Result<std::vector<World>> UnionWorlds(const std::vector<World>& left,
+                                       const std::vector<World>& right,
+                                       double alpha);
+
+/// Product-of-experts intersection: P(S) ∝ P1(S)·P2(S) over worlds
+/// present in both lists. Fails if the overlap has ~zero mass.
+Result<std::vector<World>> IntersectWorlds(const std::vector<World>& left,
+                                           const std::vector<World>& right);
+
+/// Join = selection over the Cartesian product:
+/// σ_cond(left × right) under a fresh root (Section 5's remark that join
+/// derives from the primitive operators in the standard way).
+Result<std::vector<World>> JoinWorlds(const std::vector<World>& left,
+                                      const std::vector<World>& right,
+                                      std::string_view new_root_name,
+                                      const SelectionCondition& condition);
+
+/// Instance-level mixture union over a *shared weak instance*: mixes the
+/// two world distributions, then re-factors through Theorem 2. Fails with
+/// FailedPrecondition if the mixture does not factor (the usual case for
+/// genuinely different instances — use UnionWorlds then).
+Result<ProbabilisticInstance> UnionInstances(
+    const ProbabilisticInstance& left, const ProbabilisticInstance& right,
+    double alpha);
+
+/// Instance-level join: CartesianProduct followed by the efficient Select
+/// (condition paths are expressed against the merged instance, starting
+/// at the new root).
+Result<ProbabilisticInstance> Join(const ProbabilisticInstance& left,
+                                   const ProbabilisticInstance& right,
+                                   std::string_view new_root_name,
+                                   const SelectionCondition& condition);
+
+}  // namespace pxml
+
+#endif  // PXML_ALGEBRA_SET_OPS_H_

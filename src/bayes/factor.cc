@@ -1,0 +1,250 @@
+#include "bayes/factor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// Iterates assignments of `cards` in row-major order (last var fastest),
+/// calling fn(assignment, linear_index).
+template <typename Fn>
+void ForEachAssignment(const std::vector<std::uint32_t>& cards, Fn fn) {
+  std::size_t total = 1;
+  for (std::uint32_t c : cards) total *= c;
+  std::vector<std::uint32_t> assignment(cards.size(), 0);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    fn(assignment, idx);
+    for (std::size_t i = cards.size(); i-- > 0;) {
+      if (++assignment[i] < cards[i]) break;
+      assignment[i] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+void ForEachTableAssignment(
+    const std::vector<std::uint32_t>& cards,
+    const std::function<void(const std::vector<std::uint32_t>&,
+                             std::size_t)>& fn) {
+  ForEachAssignment(cards, fn);
+}
+
+Factor::Factor() : values_{1.0} {}
+
+Result<Factor> Factor::Make(std::vector<VarId> vars,
+                            std::vector<std::uint32_t> cards,
+                            std::vector<double> values) {
+  if (vars.size() != cards.size()) {
+    return Status::InvalidArgument("vars/cards size mismatch");
+  }
+  if (!std::is_sorted(vars.begin(), vars.end()) ||
+      std::adjacent_find(vars.begin(), vars.end()) != vars.end()) {
+    return Status::InvalidArgument("factor vars must be sorted and unique");
+  }
+  std::size_t total = 1;
+  for (std::uint32_t c : cards) {
+    if (c == 0) return Status::InvalidArgument("zero-cardinality variable");
+    total *= c;
+  }
+  if (values.size() != total) {
+    return Status::InvalidArgument(
+        StrCat("factor table size ", values.size(), " != ", total));
+  }
+  Factor f;
+  f.vars_ = std::move(vars);
+  f.cards_ = std::move(cards);
+  f.values_ = std::move(values);
+  return f;
+}
+
+double Factor::At(const std::vector<std::uint32_t>& assignment) const {
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    idx = idx * cards_[i] + assignment[i];
+  }
+  return values_[idx];
+}
+
+Factor Factor::Multiply(const Factor& other) const {
+  // Merge scopes.
+  std::vector<VarId> vars;
+  std::vector<std::uint32_t> cards;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < vars_.size() || j < other.vars_.size()) {
+    if (j == other.vars_.size() ||
+        (i < vars_.size() && vars_[i] < other.vars_[j])) {
+      vars.push_back(vars_[i]);
+      cards.push_back(cards_[i]);
+      ++i;
+    } else if (i == vars_.size() || other.vars_[j] < vars_[i]) {
+      vars.push_back(other.vars_[j]);
+      cards.push_back(other.cards_[j]);
+      ++j;
+    } else {
+      vars.push_back(vars_[i]);
+      cards.push_back(cards_[i]);
+      ++i;
+      ++j;
+    }
+  }
+  // Position of each merged var in each operand (or npos).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> pos_a(vars.size(), kNone);
+  std::vector<std::size_t> pos_b(vars.size(), kNone);
+  for (std::size_t k = 0; k < vars.size(); ++k) {
+    auto ia = std::lower_bound(vars_.begin(), vars_.end(), vars[k]);
+    if (ia != vars_.end() && *ia == vars[k]) {
+      pos_a[k] = static_cast<std::size_t>(ia - vars_.begin());
+    }
+    auto ib = std::lower_bound(other.vars_.begin(), other.vars_.end(),
+                               vars[k]);
+    if (ib != other.vars_.end() && *ib == vars[k]) {
+      pos_b[k] = static_cast<std::size_t>(ib - other.vars_.begin());
+    }
+  }
+  std::size_t total = 1;
+  for (std::uint32_t c : cards) total *= c;
+  std::vector<double> values(total);
+  std::vector<std::uint32_t> a(vars_.size());
+  std::vector<std::uint32_t> b(other.vars_.size());
+  ForEachAssignment(cards, [&](const std::vector<std::uint32_t>& assignment,
+                               std::size_t idx) {
+    for (std::size_t k = 0; k < vars.size(); ++k) {
+      if (pos_a[k] != kNone) a[pos_a[k]] = assignment[k];
+      if (pos_b[k] != kNone) b[pos_b[k]] = assignment[k];
+    }
+    values[idx] = At(a) * other.At(b);
+  });
+  Factor out;
+  out.vars_ = std::move(vars);
+  out.cards_ = std::move(cards);
+  out.values_ = std::move(values);
+  return out;
+}
+
+Factor Factor::SumOut(VarId var) const {
+  auto it = std::lower_bound(vars_.begin(), vars_.end(), var);
+  if (it == vars_.end() || *it != var) return *this;
+  std::size_t k = static_cast<std::size_t>(it - vars_.begin());
+  Factor out;
+  out.vars_ = vars_;
+  out.vars_.erase(out.vars_.begin() + k);
+  out.cards_ = cards_;
+  out.cards_.erase(out.cards_.begin() + k);
+  std::size_t total = 1;
+  for (std::uint32_t c : out.cards_) total *= c;
+  out.values_.assign(total, 0.0);
+  std::vector<std::uint32_t> full(vars_.size());
+  ForEachAssignment(
+      out.cards_,
+      [&](const std::vector<std::uint32_t>& assignment, std::size_t idx) {
+        for (std::size_t i = 0, j = 0; i < vars_.size(); ++i) {
+          if (i == k) continue;
+          full[i] = assignment[j++];
+        }
+        for (std::uint32_t s = 0; s < cards_[k]; ++s) {
+          full[k] = s;
+          out.values_[idx] += At(full);
+        }
+      });
+  return out;
+}
+
+Factor Factor::Condition(VarId var, std::uint32_t state) const {
+  auto it = std::lower_bound(vars_.begin(), vars_.end(), var);
+  if (it == vars_.end() || *it != var) return *this;
+  std::size_t k = static_cast<std::size_t>(it - vars_.begin());
+  Factor out;
+  out.vars_ = vars_;
+  out.vars_.erase(out.vars_.begin() + k);
+  out.cards_ = cards_;
+  out.cards_.erase(out.cards_.begin() + k);
+  std::size_t total = 1;
+  for (std::uint32_t c : out.cards_) total *= c;
+  out.values_.assign(total, 0.0);
+  std::vector<std::uint32_t> full(vars_.size());
+  ForEachAssignment(
+      out.cards_,
+      [&](const std::vector<std::uint32_t>& assignment, std::size_t idx) {
+        for (std::size_t i = 0, j = 0; i < vars_.size(); ++i) {
+          if (i == k) continue;
+          full[i] = assignment[j++];
+        }
+        full[k] = state;
+        out.values_[idx] = At(full);
+      });
+  return out;
+}
+
+double Factor::Sum() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+std::string Factor::ToString() const {
+  std::ostringstream os;
+  os << "factor over {";
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << vars_[i] << ':' << cards_[i];
+  }
+  os << "} with " << values_.size() << " cells";
+  return os.str();
+}
+
+Result<Factor> EliminateAllBut(std::vector<Factor> factors,
+                               const std::vector<VarId>& keep) {
+  std::set<VarId> keep_set(keep.begin(), keep.end());
+  std::set<VarId> to_eliminate;
+  for (const Factor& f : factors) {
+    for (VarId v : f.vars()) {
+      if (keep_set.find(v) == keep_set.end()) to_eliminate.insert(v);
+    }
+  }
+  while (!to_eliminate.empty()) {
+    // Min-degree heuristic: eliminate the variable whose bucket product
+    // has the smallest resulting scope.
+    VarId best = *to_eliminate.begin();
+    std::size_t best_size = static_cast<std::size_t>(-1);
+    for (VarId v : to_eliminate) {
+      std::set<VarId> scope;
+      for (const Factor& f : factors) {
+        if (std::binary_search(f.vars().begin(), f.vars().end(), v)) {
+          scope.insert(f.vars().begin(), f.vars().end());
+        }
+      }
+      if (scope.size() < best_size) {
+        best_size = scope.size();
+        best = v;
+      }
+    }
+    // Multiply the bucket and sum the variable out.
+    Factor bucket;
+    std::vector<Factor> rest;
+    rest.reserve(factors.size());
+    for (Factor& f : factors) {
+      if (std::binary_search(f.vars().begin(), f.vars().end(), best)) {
+        bucket = bucket.Multiply(f);
+      } else {
+        rest.push_back(std::move(f));
+      }
+    }
+    rest.push_back(bucket.SumOut(best));
+    factors = std::move(rest);
+    to_eliminate.erase(best);
+  }
+  Factor out;
+  for (const Factor& f : factors) out = out.Multiply(f);
+  return out;
+}
+
+}  // namespace pxml

@@ -1,0 +1,83 @@
+#ifndef PXML_BAYES_FACTOR_H_
+#define PXML_BAYES_FACTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pxml {
+
+/// A variable in a discrete factor graph (for PXML: one per object).
+using VarId = std::uint32_t;
+
+/// A dense discrete factor: a non-negative table over the cross product
+/// of its variables' finite domains. Variables are kept sorted by id;
+/// values are stored row-major with the *last* variable fastest.
+///
+/// This is the standard building block for exact inference (bucket /
+/// variable elimination, Dechter 1996; Lauritzen & Spiegelhalter 1988 —
+/// the paper's references [8, 17]).
+class Factor {
+ public:
+  /// The scalar unit factor (empty scope, value 1).
+  Factor();
+
+  /// A factor over `vars` (ascending, unique) with domain sizes `cards`
+  /// and table `values` (size = product of cards).
+  static Result<Factor> Make(std::vector<VarId> vars,
+                             std::vector<std::uint32_t> cards,
+                             std::vector<double> values);
+
+  const std::vector<VarId>& vars() const { return vars_; }
+  const std::vector<std::uint32_t>& cards() const { return cards_; }
+  const std::vector<double>& values() const { return values_; }
+
+  bool IsScalar() const { return vars_.empty(); }
+  /// Precondition: IsScalar().
+  double ScalarValue() const { return values_[0]; }
+
+  /// The table cell for a full assignment (parallel to vars()).
+  double At(const std::vector<std::uint32_t>& assignment) const;
+
+  /// Pointwise product; scopes are merged.
+  Factor Multiply(const Factor& other) const;
+
+  /// Sums out `var` (no-op if absent from the scope).
+  Factor SumOut(VarId var) const;
+
+  /// Restricts `var` to `state`: incompatible cells dropped, var removed
+  /// from the scope (no-op if absent).
+  Factor Condition(VarId var, std::uint32_t state) const;
+
+  /// Total mass of the table.
+  double Sum() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<VarId> vars_;
+  std::vector<std::uint32_t> cards_;
+  std::vector<double> values_;
+};
+
+/// Calls `fn(assignment, linear_index)` for every assignment of the given
+/// domain sizes, in row-major order (last variable fastest) — the cell
+/// order Factor::Make expects.
+void ForEachTableAssignment(
+    const std::vector<std::uint32_t>& cards,
+    const std::function<void(const std::vector<std::uint32_t>&,
+                             std::size_t)>& fn);
+
+/// Eliminates (sums out) every variable not in `keep` from the product of
+/// `factors`, using a min-degree elimination order, and returns the
+/// resulting joint factor over `keep` (unnormalized). With empty `keep`,
+/// returns the scalar partition function.
+Result<Factor> EliminateAllBut(std::vector<Factor> factors,
+                               const std::vector<VarId>& keep);
+
+}  // namespace pxml
+
+#endif  // PXML_BAYES_FACTOR_H_

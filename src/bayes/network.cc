@@ -1,0 +1,151 @@
+#include "bayes/network.h"
+
+#include <algorithm>
+
+#include "core/validation.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<BayesNet> BayesNet::Compile(const ProbabilisticInstance& instance) {
+  PXML_RETURN_IF_ERROR(ValidateProbabilisticInstance(instance));
+  const WeakInstance& weak = instance.weak();
+  const Dictionary& dict = weak.dict();
+
+  BayesNet net;
+  net.nodes_.resize(dict.num_objects());
+
+  // First pass: state spaces.
+  for (ObjectId o : weak.Objects()) {
+    Node& node = net.nodes_[o];
+    node.present_in_model = true;
+    node.is_leaf = weak.IsLeaf(o);
+    if (!node.is_leaf) {
+      const Opf* opf = instance.GetOpf(o);
+      for (OpfEntry& e : opf->Entries()) {
+        node.child_states.push_back(std::move(e.child_set));
+      }
+    } else if (weak.TypeOf(o).has_value()) {
+      node.value_states = dict.TypeDomain(*weak.TypeOf(o));
+    }
+    std::size_t present_states = node.is_leaf
+                                     ? std::max<std::size_t>(
+                                           node.value_states.size(), 1)
+                                     : node.child_states.size();
+    node.card = static_cast<std::uint32_t>(1 + present_states);
+  }
+
+  // Second pass: one CPT factor per object.
+  for (ObjectId o : weak.Objects()) {
+    const Node& node = net.nodes_[o];
+    std::vector<VarId> vars;
+    for (ObjectId p : weak.PotentialParents(o)) vars.push_back(p);
+    vars.push_back(o);
+    std::sort(vars.begin(), vars.end());
+    std::vector<std::uint32_t> cards;
+    cards.reserve(vars.size());
+    for (VarId v : vars) cards.push_back(net.nodes_[v].card);
+    std::size_t o_pos = static_cast<std::size_t>(
+        std::lower_bound(vars.begin(), vars.end(), o) - vars.begin());
+
+    // Per-state probabilities of o given that it is present.
+    std::vector<double> present_probs(node.card - 1, 1.0);
+    if (!node.is_leaf) {
+      const Opf* opf = instance.GetOpf(o);
+      for (std::size_t s = 0; s < node.child_states.size(); ++s) {
+        present_probs[s] = opf->Prob(node.child_states[s]);
+      }
+    } else if (!node.value_states.empty()) {
+      const Vpf* vpf = instance.GetVpf(o);
+      for (std::size_t s = 0; s < node.value_states.size(); ++s) {
+        present_probs[s] =
+            vpf != nullptr ? vpf->Prob(node.value_states[s]) : 0.0;
+      }
+    }
+
+    std::size_t total = 1;
+    for (std::uint32_t c : cards) total *= c;
+    std::vector<double> values(total, 0.0);
+    const bool is_root = (o == weak.root());
+    ForEachTableAssignment(
+        cards, [&](const std::vector<std::uint32_t>& assignment,
+                   std::size_t idx) {
+          // Is o selected by some parent's state?
+          bool selected = is_root;
+          for (std::size_t i = 0; i < vars.size() && !selected; ++i) {
+            if (i == o_pos) continue;
+            std::uint32_t ps = assignment[i];
+            if (ps == 0) continue;  // parent absent
+            const Node& parent = net.nodes_[vars[i]];
+            if (parent.child_states[ps - 1].Contains(o)) selected = true;
+          }
+          std::uint32_t os = assignment[o_pos];
+          if (!selected) {
+            values[idx] = os == 0 ? 1.0 : 0.0;
+          } else {
+            values[idx] = os == 0 ? 0.0 : present_probs[os - 1];
+          }
+        });
+    PXML_ASSIGN_OR_RETURN(Factor cpt, Factor::Make(std::move(vars),
+                                                   std::move(cards),
+                                                   std::move(values)));
+    net.factors_.push_back(std::move(cpt));
+  }
+  return net;
+}
+
+Status BayesNet::CheckObject(ObjectId o) const {
+  if (o >= nodes_.size() || !nodes_[o].present_in_model) {
+    return Status::NotFound(StrCat("object id ", o, " not in the network"));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<double>> BayesNet::Marginal(ObjectId o) const {
+  PXML_RETURN_IF_ERROR(CheckObject(o));
+  PXML_ASSIGN_OR_RETURN(Factor joint, EliminateAllBut(factors_, {o}));
+  double z = joint.Sum();
+  if (z <= 0.0) {
+    return Status::FailedPrecondition("network has zero total mass");
+  }
+  std::vector<double> out = joint.values();
+  for (double& v : out) v /= z;
+  return out;
+}
+
+Result<double> BayesNet::ProbPresent(ObjectId o) const {
+  PXML_ASSIGN_OR_RETURN(std::vector<double> marginal, Marginal(o));
+  return 1.0 - marginal[0];
+}
+
+Result<double> BayesNet::ProbLeafValue(ObjectId o, const Value& v) const {
+  PXML_RETURN_IF_ERROR(CheckObject(o));
+  if (!nodes_[o].is_leaf) {
+    return Status::InvalidArgument(
+        StrCat("object id ", o, " is not a leaf"));
+  }
+  PXML_ASSIGN_OR_RETURN(std::vector<double> marginal, Marginal(o));
+  double p = 0.0;
+  for (std::size_t s = 0; s < nodes_[o].value_states.size(); ++s) {
+    if (nodes_[o].value_states[s] == v) p += marginal[s + 1];
+  }
+  return p;
+}
+
+Result<double> BayesNet::ProbAllPresent(
+    const std::vector<ObjectId>& objects) const {
+  std::vector<Factor> factors = factors_;
+  for (ObjectId o : objects) {
+    PXML_RETURN_IF_ERROR(CheckObject(o));
+    // Indicator: 0 mass on the absent state.
+    std::vector<double> indicator(nodes_[o].card, 1.0);
+    indicator[0] = 0.0;
+    PXML_ASSIGN_OR_RETURN(
+        Factor f, Factor::Make({o}, {nodes_[o].card}, std::move(indicator)));
+    factors.push_back(std::move(f));
+  }
+  PXML_ASSIGN_OR_RETURN(Factor z, EliminateAllBut(std::move(factors), {}));
+  return z.ScalarValue();
+}
+
+}  // namespace pxml

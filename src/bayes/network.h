@@ -1,0 +1,79 @@
+#ifndef PXML_BAYES_NETWORK_H_
+#define PXML_BAYES_NETWORK_H_
+
+#include <vector>
+
+#include "bayes/factor.h"
+#include "core/probabilistic_instance.h"
+#include "prob/value.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// The Bayesian network a probabilistic instance maps onto (the §6
+/// observation that "there is a mapping between a probabilistic instance
+/// and a Bayesian network", with inference per the paper's references
+/// [8, 17, 21]).
+///
+/// One variable per object o, with states:
+///   0             — o is absent from the world;
+///   s = 1..n      — for a non-leaf: o is present with child set
+///                   child_states[s-1] (the OPF support rows);
+///                   for a leaf: o is present with value
+///                   value_states[s-1] (or a single bare "present" state
+///                   for typeless leaves).
+///
+/// Parents of o's variable: the objects that may choose o as a child.
+/// CPT: o is absent iff no parent's state selects it; otherwise its state
+/// follows the OPF/VPF, independent of *which* parents selected it.
+///
+/// Works for any acyclic weak instance (DAGs included) — this is the
+/// inference route that does not need the tree assumption of the §6.1/6.2
+/// algorithms.
+class BayesNet {
+ public:
+  /// Compiles the instance (validated to be acyclic, with a complete
+  /// local interpretation) into CPT factors.
+  static Result<BayesNet> Compile(const ProbabilisticInstance& instance);
+
+  /// The (normalized) marginal distribution over o's states.
+  Result<std::vector<double>> Marginal(ObjectId o) const;
+
+  /// P(o occurs in a world) = 1 - marginal(absent).
+  Result<double> ProbPresent(ObjectId o) const;
+
+  /// P(o occurs and carries value v) for a leaf object.
+  Result<double> ProbLeafValue(ObjectId o, const Value& v) const;
+
+  /// P(every listed object occurs) — joint, via indicator evidence.
+  Result<double> ProbAllPresent(const std::vector<ObjectId>& objects) const;
+
+  /// The child-set states of a non-leaf variable (parallel to states
+  /// 1..n), or value states of a leaf.
+  const std::vector<IdSet>& ChildStates(ObjectId o) const {
+    return nodes_[o].child_states;
+  }
+  const std::vector<Value>& ValueStates(ObjectId o) const {
+    return nodes_[o].value_states;
+  }
+
+  std::size_t num_factors() const { return factors_.size(); }
+
+ private:
+  struct Node {
+    bool present_in_model = false;
+    bool is_leaf = false;
+    std::vector<IdSet> child_states;
+    std::vector<Value> value_states;
+    std::uint32_t card = 0;  // 1 + number of present states
+  };
+
+  Status CheckObject(ObjectId o) const;
+
+  std::vector<Node> nodes_;      // indexed by ObjectId
+  std::vector<Factor> factors_;  // one CPT per object
+};
+
+}  // namespace pxml
+
+#endif  // PXML_BAYES_NETWORK_H_

@@ -1,0 +1,34 @@
+#ifndef PXML_CORE_FACTORING_H_
+#define PXML_CORE_FACTORING_H_
+
+#include <vector>
+
+#include "core/probabilistic_instance.h"
+#include "core/semantics.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Theorem 2 constructively: given a weak instance W and a global
+/// interpretation P (as a list of worlds with probabilities covering all
+/// positive-mass worlds and summing to ~1), builds the local
+/// interpretation with
+///
+///   ℘(o)(c) = P(c_S(o) = c | o in S)
+///
+/// for non-leaves (VPFs analogously for leaves). Objects never occurring
+/// with positive probability get a point OPF on an arbitrary member of
+/// PC(o) — any choice leaves P_℘ unchanged on positive-mass worlds.
+Result<ProbabilisticInstance> FactorGlobalInterpretation(
+    const WeakInstance& weak, const std::vector<World>& global);
+
+/// Decides whether `global` satisfies W (Def 4.5), i.e. factors through a
+/// local interpretation: factors it with FactorGlobalInterpretation and
+/// checks P_℘(S) == P(S) on every listed world. (Equivalent to the
+/// conditional-independence definition for distributions over Domain(W).)
+Result<bool> GlobalSatisfiesWeakInstance(const WeakInstance& weak,
+                                         const std::vector<World>& global);
+
+}  // namespace pxml
+
+#endif  // PXML_CORE_FACTORING_H_

@@ -1,0 +1,139 @@
+#include "core/potential_children.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// Appends to `out` every size-k subset of `universe` for k in
+/// [interval.min, min(interval.max, |universe|)], respecting `max_sets`.
+Status EnumerateSubsets(const IdSet& universe, const IntInterval& interval,
+                        std::size_t max_sets, std::vector<IdSet>* out) {
+  const std::vector<std::uint32_t>& ids = universe.ids();
+  std::size_t n = ids.size();
+  std::size_t lo = interval.min();
+  std::size_t hi = std::min<std::size_t>(interval.max(), n);
+  if (lo > hi) return Status::Ok();  // no valid subsets
+  // Iterative bitmask enumeration for n <= 63; weak instances with more
+  // than 63 potential children under one label are outside the cap anyway.
+  if (n > 63) {
+    return Status::InvalidArgument(
+        StrCat("lch set too large to enumerate (", n, " children)"));
+  }
+  if (lo == 0) {
+    out->push_back(IdSet());
+  }
+  // Enumerate by size to keep a canonical, deterministic order.
+  for (std::size_t k = std::max<std::size_t>(lo, 1); k <= hi; ++k) {
+    // Standard combination enumeration.
+    std::vector<std::size_t> comb(k);
+    for (std::size_t i = 0; i < k; ++i) comb[i] = i;
+    for (;;) {
+      std::vector<std::uint32_t> members(k);
+      for (std::size_t i = 0; i < k; ++i) members[i] = ids[comb[i]];
+      out->push_back(IdSet(std::move(members)));
+      if (out->size() > max_sets) {
+        return Status::InvalidArgument(
+            StrCat("potential set enumeration exceeds cap of ", max_sets));
+      }
+      // Advance to the next size-k combination (or move on to k+1).
+      std::size_t i = k;
+      while (i > 0 && comb[i - 1] == (i - 1) + n - k) --i;
+      if (i == 0) break;
+      ++comb[i - 1];
+      for (std::size_t j = i; j < k; ++j) comb[j] = comb[j - 1] + 1;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<IdSet>> PotentialLabelChildSets(const WeakInstance& weak,
+                                                   ObjectId o, LabelId l,
+                                                   std::size_t max_sets) {
+  if (!weak.Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not present"));
+  }
+  std::vector<IdSet> out;
+  PXML_RETURN_IF_ERROR(
+      EnumerateSubsets(weak.Lch(o, l), weak.Card(o, l), max_sets, &out));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<IdSet>> PotentialChildSets(const WeakInstance& weak,
+                                              ObjectId o,
+                                              std::size_t max_sets) {
+  if (!weak.Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not present"));
+  }
+  std::vector<IdSet> acc{IdSet()};
+  for (LabelId l : weak.LabelsOf(o)) {
+    PXML_ASSIGN_OR_RETURN(std::vector<IdSet> pl,
+                          PotentialLabelChildSets(weak, o, l, max_sets));
+    if (pl.empty()) return std::vector<IdSet>{};  // PC(o) is empty
+    std::vector<IdSet> next;
+    if (acc.size() * pl.size() > max_sets) {
+      return Status::InvalidArgument(
+          StrCat("PC enumeration exceeds cap of ", max_sets));
+    }
+    next.reserve(acc.size() * pl.size());
+    for (const IdSet& a : acc) {
+      for (const IdSet& b : pl) next.push_back(a.Union(b));
+    }
+    acc = std::move(next);
+  }
+  std::sort(acc.begin(), acc.end());
+  acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+  return acc;
+}
+
+bool IsPotentialChildSet(const WeakInstance& weak, ObjectId o,
+                         const IdSet& c) {
+  if (!weak.Present(o)) return false;
+  std::size_t covered = 0;
+  for (LabelId l : weak.LabelsOf(o)) {
+    const IdSet& lch = weak.Lch(o, l);
+    IdSet part = c.Intersect(lch);
+    covered += part.size();
+    if (!weak.Card(o, l).Contains(static_cast<std::uint32_t>(part.size()))) {
+      return false;
+    }
+  }
+  // Every member of c must belong to some lch family (families are
+  // disjoint, so the parts partition the covered members).
+  return covered == c.size();
+}
+
+Result<std::size_t> CountPotentialChildSets(const WeakInstance& weak,
+                                            ObjectId o) {
+  if (!weak.Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not present"));
+  }
+  // Product over labels of sum_{k in card} C(|lch|, k).
+  long double total = 1.0L;
+  for (LabelId l : weak.LabelsOf(o)) {
+    std::size_t n = weak.Lch(o, l).size();
+    IntInterval card = weak.Card(o, l);
+    std::size_t hi = std::min<std::size_t>(card.max(), n);
+    long double count = 0.0L;
+    // C(n, k) computed incrementally.
+    long double binom = 1.0L;
+    for (std::size_t k = 0; k <= hi; ++k) {
+      if (k >= card.min()) count += binom;
+      binom = binom * static_cast<long double>(n - k) /
+              static_cast<long double>(k + 1);
+    }
+    total *= count;
+    if (total > 1e18L) {
+      return Status::InvalidArgument("PC(o) count overflows");
+    }
+  }
+  return static_cast<std::size_t>(total);
+}
+
+}  // namespace pxml

@@ -1,0 +1,47 @@
+#ifndef PXML_CORE_POTENTIAL_CHILDREN_H_
+#define PXML_CORE_POTENTIAL_CHILDREN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/weak_instance.h"
+#include "util/id_set.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Default cap on the number of sets PL / PC enumeration may produce
+/// before failing instead of exhausting memory. PC enumeration is
+/// inherently exponential (the paper's experiments use 2^b entries per
+/// object); the cap only guards the *explicit* enumeration entry points.
+inline constexpr std::size_t kDefaultMaxPotentialSets = 1u << 22;
+
+/// PL(o, l) (Def 3.5): every subset c of lch(o, l) whose size lies in
+/// card(o, l), in canonical order. Empty result means no valid choice
+/// exists (card.min exceeds |lch|), which makes PC(o) empty too.
+Result<std::vector<IdSet>> PotentialLabelChildSets(
+    const WeakInstance& weak, ObjectId o, LabelId l,
+    std::size_t max_sets = kDefaultMaxPotentialSets);
+
+/// PC(o) (Def 3.6): all potential child sets of o — the unions of one
+/// potential l-child set per label of o (the minimal-hitting-set
+/// construction specialized to disjoint per-label families). For an
+/// object with no labels this is the singleton {∅}.
+Result<std::vector<IdSet>> PotentialChildSets(
+    const WeakInstance& weak, ObjectId o,
+    std::size_t max_sets = kDefaultMaxPotentialSets);
+
+/// True iff `c` is a member of PC(o), decided without enumeration: c must
+/// split into per-label parts with every member in lch(o, l) and each
+/// part's size within card(o, l).
+bool IsPotentialChildSet(const WeakInstance& weak, ObjectId o,
+                         const IdSet& c);
+
+/// |PC(o)| without materializing the sets (product over labels of the
+/// binomial-sum counts).
+Result<std::size_t> CountPotentialChildSets(const WeakInstance& weak,
+                                            ObjectId o);
+
+}  // namespace pxml
+
+#endif  // PXML_CORE_POTENTIAL_CHILDREN_H_

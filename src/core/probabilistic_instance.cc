@@ -1,0 +1,87 @@
+#include "core/probabilistic_instance.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+ProbabilisticInstance::ProbabilisticInstance(
+    const ProbabilisticInstance& other)
+    : weak_(other.weak_) {
+  opfs_.resize(other.opfs_.size());
+  for (std::size_t i = 0; i < other.opfs_.size(); ++i) {
+    if (other.opfs_[i]) opfs_[i] = other.opfs_[i]->Clone();
+  }
+  vpfs_.resize(other.vpfs_.size());
+  for (std::size_t i = 0; i < other.vpfs_.size(); ++i) {
+    if (other.vpfs_[i]) vpfs_[i] = std::make_unique<Vpf>(*other.vpfs_[i]);
+  }
+}
+
+ProbabilisticInstance& ProbabilisticInstance::operator=(
+    const ProbabilisticInstance& other) {
+  if (this == &other) return *this;
+  ProbabilisticInstance copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void ProbabilisticInstance::EnsureSize(ObjectId o) {
+  if (o >= opfs_.size()) opfs_.resize(o + 1);
+  if (o >= vpfs_.size()) vpfs_.resize(o + 1);
+}
+
+Status ProbabilisticInstance::SetOpf(ObjectId o, std::unique_ptr<Opf> opf) {
+  if (!weak_.Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not present"));
+  }
+  if (opf == nullptr) {
+    return Status::InvalidArgument("OPF must not be null");
+  }
+  EnsureSize(o);
+  opfs_[o] = std::move(opf);
+  return Status::Ok();
+}
+
+Status ProbabilisticInstance::SetVpf(ObjectId o, Vpf vpf) {
+  if (!weak_.Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not present"));
+  }
+  EnsureSize(o);
+  vpfs_[o] = std::make_unique<Vpf>(std::move(vpf));
+  return Status::Ok();
+}
+
+const Opf* ProbabilisticInstance::GetOpf(ObjectId o) const {
+  if (o >= opfs_.size()) return nullptr;
+  return opfs_[o].get();
+}
+
+const Vpf* ProbabilisticInstance::GetVpf(ObjectId o) const {
+  if (o >= vpfs_.size()) return nullptr;
+  return vpfs_[o].get();
+}
+
+std::size_t ProbabilisticInstance::TotalOpfEntries() const {
+  std::size_t n = 0;
+  for (const auto& opf : opfs_) {
+    if (opf) n += opf->NumEntries();
+  }
+  return n;
+}
+
+std::string ProbabilisticInstance::ToString() const {
+  std::ostringstream os;
+  os << weak_.ToString();
+  for (ObjectId o : weak_.Objects()) {
+    if (const Opf* opf = GetOpf(o)) {
+      os << dict().ObjectName(o) << ": " << opf->ToString(dict()) << '\n';
+    } else if (const Vpf* vpf = GetVpf(o)) {
+      os << dict().ObjectName(o) << ": VPF " << vpf->ToString() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pxml

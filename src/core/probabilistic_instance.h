@@ -1,0 +1,70 @@
+#ifndef PXML_CORE_PROBABILISTIC_INSTANCE_H_
+#define PXML_CORE_PROBABILISTIC_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/weak_instance.h"
+#include "prob/opf.h"
+#include "prob/vpf.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// A probabilistic instance I = (V, lch, tau, val, card, ℘) (Def 3.11):
+/// a weak instance plus a local interpretation ℘ assigning every non-leaf
+/// object an OPF over PC(o) and every leaf object a VPF over dom(tau(o)).
+///
+/// Deep-copyable: copying clones every OPF (the benchmark's "copy the
+/// input instance" phase exercises exactly this).
+class ProbabilisticInstance {
+ public:
+  ProbabilisticInstance() = default;
+
+  ProbabilisticInstance(const ProbabilisticInstance& other);
+  ProbabilisticInstance& operator=(const ProbabilisticInstance& other);
+  ProbabilisticInstance(ProbabilisticInstance&&) = default;
+  ProbabilisticInstance& operator=(ProbabilisticInstance&&) = default;
+
+  WeakInstance& weak() { return weak_; }
+  const WeakInstance& weak() const { return weak_; }
+
+  Dictionary& dict() { return weak_.dict(); }
+  const Dictionary& dict() const { return weak_.dict(); }
+
+  /// Installs ℘(o) for a non-leaf object. The OPF's support is *not*
+  /// validated here (see ValidateProbabilisticInstance).
+  Status SetOpf(ObjectId o, std::unique_ptr<Opf> opf);
+
+  /// Installs ℘(o) for a leaf object.
+  Status SetVpf(ObjectId o, Vpf vpf);
+
+  /// ℘(o) as an OPF; nullptr if none installed.
+  const Opf* GetOpf(ObjectId o) const;
+  /// ℘(o) as a VPF; nullptr if none installed.
+  const Vpf* GetVpf(ObjectId o) const;
+
+  /// Replaces ℘(o) for a non-leaf (same as SetOpf; reads as an update).
+  Status ReplaceOpf(ObjectId o, std::unique_ptr<Opf> opf) {
+    return SetOpf(o, std::move(opf));
+  }
+
+  /// Total number of OPF rows across all objects (the "number of entries
+  /// in a local interpretation" the paper's experiments count).
+  std::size_t TotalOpfEntries() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+ private:
+  WeakInstance weak_;
+  std::vector<std::unique_ptr<Opf>> opfs_;  // indexed by ObjectId
+  std::vector<std::unique_ptr<Vpf>> vpfs_;  // indexed by ObjectId
+
+  void EnsureSize(ObjectId o);
+};
+
+}  // namespace pxml
+
+#endif  // PXML_CORE_PROBABILISTIC_INSTANCE_H_

@@ -1,0 +1,342 @@
+#include "core/semantics.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/potential_children.h"
+#include "graph/algorithms.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// Recursive world enumerator. Objects are visited in a topological order
+/// of the weak instance graph, so by the time `o` is visited every
+/// potential parent has committed its child set and membership of `o` is
+/// decided.
+class WorldEnumerator {
+ public:
+  WorldEnumerator(const ProbabilisticInstance& instance,
+                  const EnumerationOptions& options,
+                  std::vector<ObjectId> order)
+      : instance_(instance),
+        weak_(instance.weak()),
+        options_(options),
+        order_(std::move(order)),
+        include_count_(weak_.dict().num_objects(), 0),
+        chosen_set_(weak_.dict().num_objects()),
+        chosen_value_(weak_.dict().num_objects()) {}
+
+  Result<std::vector<World>> Run() {
+    status_ = Status::Ok();
+    Recurse(0, 1.0);
+    if (!status_.ok()) return status_;
+    return std::move(worlds_);
+  }
+
+  /// Top-k mode: keep only the k most probable worlds, pruning any
+  /// branch whose prefix probability cannot beat the current k-th best
+  /// (probabilities only shrink as choices accumulate).
+  Result<std::vector<World>> RunTopK(std::size_t k) {
+    status_ = Status::Ok();
+    top_k_ = k;
+    Recurse(0, 1.0);
+    if (!status_.ok()) return status_;
+    std::sort(worlds_.begin(), worlds_.end(),
+              [](const World& a, const World& b) { return a.prob > b.prob; });
+    if (worlds_.size() > top_k_) worlds_.resize(top_k_);
+    return std::move(worlds_);
+  }
+
+ private:
+  /// The pruning threshold: the k-th best probability seen so far.
+  double PruneThreshold() const {
+    if (top_k_ == 0 || worlds_.size() < top_k_) return 0.0;
+    double kth = 1.0;
+    // worlds_ is kept trimmed to ~2k entries in top-k mode, so a linear
+    // scan stays cheap relative to the enumeration itself.
+    std::vector<double> probs;
+    probs.reserve(worlds_.size());
+    for (const World& w : worlds_) probs.push_back(w.prob);
+    std::nth_element(probs.begin(), probs.end() - top_k_, probs.end());
+    kth = probs[probs.size() - top_k_];
+    return kth;
+  }
+  bool Included(ObjectId o) const {
+    return o == weak_.root() || include_count_[o] > 0;
+  }
+
+  void Recurse(std::size_t idx, double prob) {
+    if (!status_.ok()) return;
+    if (top_k_ != 0 && prob <= PruneThreshold()) return;
+    if (idx == order_.size()) {
+      Emit(prob);
+      return;
+    }
+    ObjectId o = order_[idx];
+    if (!Included(o)) {
+      Recurse(idx + 1, prob);
+      return;
+    }
+    if (!weak_.IsLeaf(o)) {
+      EnumerateChildChoices(o, idx, prob);
+    } else {
+      EnumerateValueChoices(o, idx, prob);
+    }
+  }
+
+  void EnumerateChildChoices(ObjectId o, std::size_t idx, double prob) {
+    const Opf* opf = instance_.GetOpf(o);
+    std::vector<OpfEntry> choices;
+    if (options_.include_zero_probability_worlds) {
+      auto pc = PotentialChildSets(weak_, o, options_.max_worlds);
+      if (!pc.ok()) {
+        status_ = pc.status();
+        return;
+      }
+      for (IdSet& c : *pc) {
+        double p = opf != nullptr ? opf->Prob(c) : 0.0;
+        choices.push_back(OpfEntry{std::move(c), p});
+      }
+    } else {
+      if (opf == nullptr) {
+        status_ = Status::FailedPrecondition(
+            StrCat("non-leaf '", weak_.dict().ObjectName(o),
+                   "' has no OPF"));
+        return;
+      }
+      for (OpfEntry& e : opf->Entries()) {
+        if (e.prob > 0.0) choices.push_back(std::move(e));
+      }
+    }
+    for (const OpfEntry& choice : choices) {
+      chosen_set_[o] = choice.child_set;
+      for (ObjectId c : choice.child_set) ++include_count_[c];
+      Recurse(idx + 1, prob * choice.prob);
+      for (ObjectId c : choice.child_set) --include_count_[c];
+      chosen_set_[o].reset();
+      if (!status_.ok()) return;
+    }
+  }
+
+  void EnumerateValueChoices(ObjectId o, std::size_t idx, double prob) {
+    auto type = weak_.TypeOf(o);
+    if (!type.has_value()) {
+      // A typeless leaf (e.g. in a projection result) carries no value and
+      // contributes no factor.
+      Recurse(idx + 1, prob);
+      return;
+    }
+    const Vpf* vpf = instance_.GetVpf(o);
+    if (vpf == nullptr && !options_.include_zero_probability_worlds) {
+      status_ = Status::FailedPrecondition(
+          StrCat("leaf '", weak_.dict().ObjectName(o), "' has no VPF"));
+      return;
+    }
+    for (const Value& v : weak_.dict().TypeDomain(*type)) {
+      double p = vpf != nullptr ? vpf->Prob(v) : 0.0;
+      if (p <= 0.0 && !options_.include_zero_probability_worlds) continue;
+      chosen_value_[o] = v;
+      Recurse(idx + 1, prob * p);
+      chosen_value_[o].reset();
+      if (!status_.ok()) return;
+    }
+  }
+
+  void Emit(double prob) {
+    if (worlds_.size() >= options_.max_worlds) {
+      status_ = Status::InvalidArgument(
+          StrCat("world enumeration exceeds cap of ", options_.max_worlds));
+      return;
+    }
+    SemistructuredInstance world;
+    world.SetDictionary(weak_.dict());
+    for (ObjectId o : order_) {
+      if (!Included(o)) continue;
+      Status s = world.AddObjectById(o);
+      if (!s.ok()) {
+        status_ = s;
+        return;
+      }
+    }
+    Status s = world.SetRoot(weak_.root());
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    for (ObjectId o : order_) {
+      if (!Included(o)) continue;
+      if (chosen_set_[o].has_value()) {
+        for (ObjectId c : *chosen_set_[o]) {
+          auto label = weak_.ChildLabel(o, c);
+          if (!label.has_value()) {
+            status_ = Status::Internal("chosen child has no lch label");
+            return;
+          }
+          s = world.AddEdge(o, *label, c);
+          if (!s.ok()) {
+            status_ = s;
+            return;
+          }
+        }
+      } else if (chosen_value_[o].has_value()) {
+        s = world.SetLeafValue(o, *weak_.TypeOf(o), *chosen_value_[o]);
+        if (!s.ok()) {
+          status_ = s;
+          return;
+        }
+      }
+    }
+    worlds_.push_back(World{std::move(world), prob});
+    if (top_k_ != 0 && worlds_.size() >= 2 * top_k_ + 16) {
+      // Trim to the current top k to keep PruneThreshold sharp and the
+      // working set small.
+      std::sort(worlds_.begin(), worlds_.end(),
+                [](const World& a, const World& b) {
+                  return a.prob > b.prob;
+                });
+      worlds_.resize(top_k_);
+    }
+  }
+
+  const ProbabilisticInstance& instance_;
+  const WeakInstance& weak_;
+  const EnumerationOptions& options_;
+  std::vector<ObjectId> order_;
+  std::vector<std::uint32_t> include_count_;
+  std::vector<std::optional<IdSet>> chosen_set_;
+  std::vector<std::optional<Value>> chosen_value_;
+  std::vector<World> worlds_;
+  Status status_;
+  std::size_t top_k_ = 0;  // 0 = plain enumeration
+};
+
+}  // namespace
+
+Result<std::vector<World>> EnumerateWorlds(
+    const ProbabilisticInstance& instance,
+    const EnumerationOptions& options) {
+  const WeakInstance& weak = instance.weak();
+  if (!weak.HasRoot()) {
+    return Status::FailedPrecondition("weak instance has no root");
+  }
+  PXML_ASSIGN_OR_RETURN(SemistructuredInstance graph,
+                        WeakInstanceGraph(weak));
+  PXML_ASSIGN_OR_RETURN(std::vector<ObjectId> order,
+                        TopologicalOrder(graph));
+  WorldEnumerator enumerator(instance, options, std::move(order));
+  return enumerator.Run();
+}
+
+Result<std::vector<World>> MostProbableWorlds(
+    const ProbabilisticInstance& instance, std::size_t k,
+    const EnumerationOptions& options) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  const WeakInstance& weak = instance.weak();
+  if (!weak.HasRoot()) {
+    return Status::FailedPrecondition("weak instance has no root");
+  }
+  PXML_ASSIGN_OR_RETURN(SemistructuredInstance graph,
+                        WeakInstanceGraph(weak));
+  PXML_ASSIGN_OR_RETURN(std::vector<ObjectId> order,
+                        TopologicalOrder(graph));
+  WorldEnumerator enumerator(instance, options, std::move(order));
+  return enumerator.RunTopK(k);
+}
+
+Status CheckCompatible(const WeakInstance& weak,
+                       const SemistructuredInstance& world) {
+  if (!weak.HasRoot() || !world.HasRoot() ||
+      world.root() != weak.root()) {
+    return Status::FailedPrecondition(
+        "world root does not match weak instance root");
+  }
+  if (ReachableFrom(world, world.root()).size() != world.num_objects()) {
+    return Status::FailedPrecondition(
+        "world has objects unreachable from the root");
+  }
+  const Dictionary& dict = weak.dict();
+  for (ObjectId o : world.Objects()) {
+    if (!weak.Present(o)) {
+      return Status::FailedPrecondition(
+          StrCat("world object id ", o, " not in the weak instance"));
+    }
+    if (weak.IsLeaf(o)) {
+      if (!world.IsLeaf(o)) {
+        return Status::FailedPrecondition(
+            StrCat("'", dict.ObjectName(o),
+                   "' is a leaf of W but has children in the world"));
+      }
+      auto wtype = weak.TypeOf(o);
+      if (wtype.has_value()) {
+        auto stype = world.TypeOf(o);
+        auto sval = world.ValueOf(o);
+        if (!stype.has_value() || *stype != *wtype) {
+          return Status::FailedPrecondition(
+              StrCat("leaf '", dict.ObjectName(o),
+                     "' type mismatch with W"));
+        }
+        if (!sval.has_value() || !dict.DomainContains(*wtype, *sval)) {
+          return Status::FailedPrecondition(
+              StrCat("leaf '", dict.ObjectName(o),
+                     "' value missing or outside dom(tau)"));
+        }
+      }
+      continue;
+    }
+    // Non-leaf of W: every edge must be lch-sanctioned with the right
+    // label, and per-label counts must satisfy card.
+    for (const Edge& e : world.Children(o)) {
+      if (!weak.Lch(o, e.label).Contains(e.child)) {
+        return Status::FailedPrecondition(StrCat(
+            "edge (", dict.ObjectName(o), ",", dict.ObjectName(e.child),
+            ") with label '", dict.LabelName(e.label),
+            "' is not sanctioned by lch"));
+      }
+    }
+    for (LabelId l : weak.LabelsOf(o)) {
+      std::uint32_t k =
+          static_cast<std::uint32_t>(world.LabeledChildren(o, l).size());
+      if (!weak.Card(o, l).Contains(k)) {
+        return Status::FailedPrecondition(StrCat(
+            "object '", dict.ObjectName(o), "' has ", k, " children with '",
+            dict.LabelName(l), "', outside card ",
+            weak.Card(o, l).ToString()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<double> WorldProbability(const ProbabilisticInstance& instance,
+                                const SemistructuredInstance& world) {
+  const WeakInstance& weak = instance.weak();
+  PXML_RETURN_IF_ERROR(CheckCompatible(weak, world));
+  double prob = 1.0;
+  for (ObjectId o : world.Objects()) {
+    if (!weak.IsLeaf(o)) {
+      const Opf* opf = instance.GetOpf(o);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("non-leaf '", weak.dict().ObjectName(o),
+                   "' has no OPF"));
+      }
+      std::vector<std::uint32_t> kids;
+      for (const Edge& e : world.Children(o)) kids.push_back(e.child);
+      prob *= opf->Prob(IdSet(std::move(kids)));
+    } else if (weak.TypeOf(o).has_value()) {
+      const Vpf* vpf = instance.GetVpf(o);
+      if (vpf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("leaf '", weak.dict().ObjectName(o), "' has no VPF"));
+      }
+      prob *= vpf->Prob(*world.ValueOf(o));
+    }
+  }
+  return prob;
+}
+
+}  // namespace pxml

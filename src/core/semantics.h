@@ -1,0 +1,66 @@
+#ifndef PXML_CORE_SEMANTICS_H_
+#define PXML_CORE_SEMANTICS_H_
+
+#include <vector>
+
+#include "core/probabilistic_instance.h"
+#include "graph/instance.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// One possible world: a semistructured instance compatible with a weak
+/// instance, together with its probability under a global interpretation.
+struct World {
+  SemistructuredInstance instance;
+  double prob = 0.0;
+};
+
+struct EnumerationOptions {
+  /// Fail instead of producing more worlds than this.
+  std::size_t max_worlds = 1u << 20;
+  /// If true, range over all of PC(o) / dom(tau(o)) even where the local
+  /// interpretation assigns probability 0 (the full Domain(W) of Def 4.1);
+  /// if false (default), only positive-probability worlds are produced.
+  bool include_zero_probability_worlds = false;
+};
+
+/// Enumerates Domain(I) with the global interpretation P_℘ of Def 4.4:
+/// every semistructured instance compatible with I's weak instance,
+/// weighted by the product of local OPF/VPF entries. By Theorem 1 the
+/// probabilities of the result sum to 1 (a property the test suite
+/// asserts). Exponential — this is the *oracle*, not the query engine.
+Result<std::vector<World>> EnumerateWorlds(
+    const ProbabilisticInstance& instance,
+    const EnumerationOptions& options = {});
+
+/// The k most probable compatible worlds, in descending probability —
+/// the MAP-style query over the possible-worlds distribution ("what are
+/// the most likely actual documents?"). Computed by the same recursive
+/// enumeration with branch-and-bound pruning: a partial world's product
+/// of probabilities only shrinks as more choices are made, so any prefix
+/// below the current k-th best can be cut. Far faster than full
+/// enumeration when k is small and the distribution is skewed, but still
+/// worst-case exponential (use `options.max_worlds` as a safety net; it
+/// bounds *emitted* candidates, not pruned branches).
+Result<std::vector<World>> MostProbableWorlds(
+    const ProbabilisticInstance& instance, std::size_t k,
+    const EnumerationOptions& options = {});
+
+/// Checks compatibility of `world` with `weak` (Def 4.1): same root,
+/// objects drawn from V_W and reachable from the root, every edge allowed
+/// by lch, every per-label child count within card, and every W-leaf
+/// carrying a value from dom(tau).
+Status CheckCompatible(const WeakInstance& weak,
+                       const SemistructuredInstance& world);
+
+/// P_℘(world) (Def 4.4): the product over the world's objects of the OPF
+/// probability of their child set (non-leaves) or the VPF probability of
+/// their value (leaves). Fails if the world is incompatible or ℘ is
+/// missing a required local function.
+Result<double> WorldProbability(const ProbabilisticInstance& instance,
+                                const SemistructuredInstance& world);
+
+}  // namespace pxml
+
+#endif  // PXML_CORE_SEMANTICS_H_

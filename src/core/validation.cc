@@ -1,0 +1,107 @@
+#include "core/validation.h"
+
+#include "core/potential_children.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+Status ValidateWeakInstance(const WeakInstance& weak) {
+  if (!weak.HasRoot()) {
+    return Status::FailedPrecondition("weak instance has no root");
+  }
+  const Dictionary& dict = weak.dict();
+  for (ObjectId o : weak.Objects()) {
+    // Disjointness of per-label lch families.
+    IdSet seen;
+    for (LabelId l : weak.LabelsOf(o)) {
+      const IdSet& lch = weak.Lch(o, l);
+      IdSet overlap = seen.Intersect(lch);
+      if (!overlap.empty()) {
+        return Status::FailedPrecondition(StrCat(
+            "object '", dict.ObjectName(o),
+            "' lists the same child under two labels (child id ",
+            overlap[0], ")"));
+      }
+      seen = seen.Union(lch);
+      IntInterval card = weak.Card(o, l);
+      if (!card.valid()) {
+        return Status::FailedPrecondition(
+            StrCat("card(", dict.ObjectName(o), ",", dict.LabelName(l),
+                   ") has min > max"));
+      }
+      if (card.min() > lch.size()) {
+        return Status::FailedPrecondition(StrCat(
+            "card(", dict.ObjectName(o), ",", dict.LabelName(l), ").min=",
+            card.min(), " exceeds |lch|=", lch.size(),
+            " — no compatible world exists"));
+      }
+    }
+    if (weak.IsLeaf(o)) {
+      auto type = weak.TypeOf(o);
+      if (type.has_value()) {
+        if (*type >= dict.num_types() || dict.TypeDomain(*type).empty()) {
+          return Status::FailedPrecondition(
+              StrCat("leaf '", dict.ObjectName(o),
+                     "' has a type with an empty domain"));
+        }
+        auto val = weak.ValueOf(o);
+        if (val.has_value() && !dict.DomainContains(*type, *val)) {
+          return Status::FailedPrecondition(
+              StrCat("leaf '", dict.ObjectName(o),
+                     "' has val outside dom(tau)"));
+        }
+      }
+    }
+  }
+  return CheckAcyclic(weak);
+}
+
+Status ValidateProbabilisticInstance(const ProbabilisticInstance& instance,
+                                     const ValidationOptions& options) {
+  const WeakInstance& weak = instance.weak();
+  PXML_RETURN_IF_ERROR(ValidateWeakInstance(weak));
+  const Dictionary& dict = weak.dict();
+
+  for (ObjectId o : weak.Objects()) {
+    if (!weak.IsLeaf(o)) {
+      const Opf* opf = instance.GetOpf(o);
+      if (opf == nullptr) {
+        if (options.require_complete_interpretation) {
+          return Status::FailedPrecondition(
+              StrCat("non-leaf '", dict.ObjectName(o), "' has no OPF"));
+        }
+        continue;
+      }
+      if (options.check_opf_support) {
+        PXML_RETURN_IF_ERROR(opf->Validate());
+        for (const OpfEntry& e : opf->Entries()) {
+          if (e.prob > 0.0 && !IsPotentialChildSet(weak, o, e.child_set)) {
+            return Status::FailedPrecondition(StrCat(
+                "OPF of '", dict.ObjectName(o), "' assigns mass to ",
+                e.child_set.ToString(), " which is not in PC(o)"));
+          }
+        }
+      }
+    } else {
+      const Vpf* vpf = instance.GetVpf(o);
+      auto type = weak.TypeOf(o);
+      if (vpf == nullptr) {
+        if (options.require_complete_interpretation && type.has_value()) {
+          return Status::FailedPrecondition(
+              StrCat("leaf '", dict.ObjectName(o), "' has no VPF"));
+        }
+        continue;
+      }
+      if (!type.has_value()) {
+        return Status::FailedPrecondition(
+            StrCat("leaf '", dict.ObjectName(o), "' has a VPF but no type"));
+      }
+      if (options.check_opf_support) {
+        PXML_RETURN_IF_ERROR(vpf->Validate(dict, *type));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pxml

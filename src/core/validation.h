@@ -1,0 +1,39 @@
+#ifndef PXML_CORE_VALIDATION_H_
+#define PXML_CORE_VALIDATION_H_
+
+#include "core/probabilistic_instance.h"
+#include "core/weak_instance.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Structural validation of a weak instance:
+///  * a root is declared;
+///  * per object, the lch families of distinct labels are disjoint (the
+///    library invariant from Def 3.6's hitting-set construction);
+///  * card intervals are valid and satisfiable (min <= |lch(o, l)|);
+///  * every leaf carries a type with a non-empty domain;
+///  * any witnessed val(o) is in dom(tau(o));
+///  * the weak instance graph G_W is acyclic (Def 4.3).
+Status ValidateWeakInstance(const WeakInstance& weak);
+
+/// Options for probabilistic-instance validation.
+struct ValidationOptions {
+  /// Verify each OPF's mass sums to 1 and each support row is a member of
+  /// PC(o). Costs a pass over every OPF row; disable for huge generated
+  /// instances you already trust.
+  bool check_opf_support = true;
+  /// Require every non-leaf with potential children to have an OPF and
+  /// every leaf to have a VPF.
+  bool require_complete_interpretation = true;
+};
+
+/// Full validation per Defs 3.8–3.11: the weak instance checks above plus
+/// a valid local interpretation (OPF per non-leaf over PC(o) summing to 1;
+/// VPF per leaf over dom(tau(o)) summing to 1).
+Status ValidateProbabilisticInstance(const ProbabilisticInstance& instance,
+                                     const ValidationOptions& options = {});
+
+}  // namespace pxml
+
+#endif  // PXML_CORE_VALIDATION_H_

@@ -1,0 +1,108 @@
+#include "graph/algorithms.h"
+
+#include <deque>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<std::vector<ObjectId>> TopologicalOrder(
+    const SemistructuredInstance& instance) {
+  std::vector<ObjectId> objects = instance.Objects();
+  std::vector<std::uint32_t> indegree(
+      objects.empty() ? 0 : objects.back() + 1, 0);
+  for (ObjectId o : objects) {
+    indegree[o] = static_cast<std::uint32_t>(instance.Parents(o).size());
+  }
+  std::deque<ObjectId> ready;
+  for (ObjectId o : objects) {
+    if (indegree[o] == 0) ready.push_back(o);
+  }
+  std::vector<ObjectId> order;
+  order.reserve(objects.size());
+  while (!ready.empty()) {
+    ObjectId o = ready.front();
+    ready.pop_front();
+    order.push_back(o);
+    for (const Edge& e : instance.Children(o)) {
+      if (--indegree[e.child] == 0) ready.push_back(e.child);
+    }
+  }
+  if (order.size() != objects.size()) {
+    return Status::FailedPrecondition("instance graph contains a cycle");
+  }
+  return order;
+}
+
+bool IsAcyclic(const SemistructuredInstance& instance) {
+  return TopologicalOrder(instance).ok();
+}
+
+IdSet ReachableFrom(const SemistructuredInstance& instance, ObjectId o) {
+  std::vector<std::uint32_t> found;
+  if (!instance.Present(o)) return IdSet();
+  std::vector<bool> seen(instance.dict().num_objects(), false);
+  std::deque<ObjectId> frontier{o};
+  seen[o] = true;
+  while (!frontier.empty()) {
+    ObjectId cur = frontier.front();
+    frontier.pop_front();
+    found.push_back(cur);
+    for (const Edge& e : instance.Children(cur)) {
+      if (!seen[e.child]) {
+        seen[e.child] = true;
+        frontier.push_back(e.child);
+      }
+    }
+  }
+  return IdSet(std::move(found));
+}
+
+IdSet DescendantsOf(const SemistructuredInstance& instance, ObjectId o) {
+  return ReachableFrom(instance, o).Without(o);
+}
+
+IdSet NonDescendantsOf(const SemistructuredInstance& instance, ObjectId o) {
+  IdSet all(instance.Objects());
+  return all.Difference(ReachableFrom(instance, o));
+}
+
+Status CheckTree(const SemistructuredInstance& instance) {
+  if (!instance.HasRoot()) {
+    return Status::FailedPrecondition("instance has no root");
+  }
+  for (ObjectId o : instance.Objects()) {
+    std::size_t parents = instance.Parents(o).size();
+    if (o == instance.root()) {
+      if (parents != 0) {
+        return Status::FailedPrecondition("root has a parent");
+      }
+    } else if (parents != 1) {
+      return Status::FailedPrecondition(
+          StrCat("object '", instance.dict().ObjectName(o), "' has ",
+                 parents, " parents; a tree requires exactly 1"));
+    }
+  }
+  if (ReachableFrom(instance, instance.root()).size() !=
+      instance.num_objects()) {
+    return Status::FailedPrecondition(
+        "not all objects are reachable from the root");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::uint32_t>> TreeDepths(
+    const SemistructuredInstance& instance) {
+  PXML_RETURN_IF_ERROR(CheckTree(instance));
+  std::vector<std::uint32_t> depth(instance.dict().num_objects(), 0);
+  PXML_ASSIGN_OR_RETURN(std::vector<ObjectId> order,
+                        TopologicalOrder(instance));
+  for (ObjectId o : order) {
+    for (const Edge& e : instance.Children(o)) {
+      depth[e.child] = depth[o] + 1;
+    }
+  }
+  return depth;
+}
+
+}  // namespace pxml

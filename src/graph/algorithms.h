@@ -1,0 +1,41 @@
+#ifndef PXML_GRAPH_ALGORITHMS_H_
+#define PXML_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/instance.h"
+#include "util/id_set.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// A topological order of the instance's objects (every parent precedes
+/// its children). Fails with FailedPrecondition if the graph has a cycle.
+Result<std::vector<ObjectId>> TopologicalOrder(
+    const SemistructuredInstance& instance);
+
+/// True iff the instance's edge relation is acyclic.
+bool IsAcyclic(const SemistructuredInstance& instance);
+
+/// All objects reachable from `o` (excluding `o` itself): des(o), Def 3.2.
+IdSet DescendantsOf(const SemistructuredInstance& instance, ObjectId o);
+
+/// non-des(o) = V \ (des(o) U {o}), Def 3.2.
+IdSet NonDescendantsOf(const SemistructuredInstance& instance, ObjectId o);
+
+/// `o` plus all objects reachable from it.
+IdSet ReachableFrom(const SemistructuredInstance& instance, ObjectId o);
+
+/// OK iff the instance is a rooted tree: it has a root, every non-root
+/// object has exactly one parent, the root has none, and every object is
+/// reachable from the root. The efficient Section-6 algorithms require
+/// this shape.
+Status CheckTree(const SemistructuredInstance& instance);
+
+/// Depth of each object below the root (root = 0). Requires a tree.
+Result<std::vector<std::uint32_t>> TreeDepths(
+    const SemistructuredInstance& instance);
+
+}  // namespace pxml
+
+#endif  // PXML_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,222 @@
+#include "graph/instance.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+void SemistructuredInstance::EnsureSize(ObjectId o) {
+  if (o >= nodes_.size()) nodes_.resize(o + 1);
+}
+
+ObjectId SemistructuredInstance::AddObject(std::string_view name) {
+  ObjectId o = dict_.InternObject(name);
+  EnsureSize(o);
+  if (!nodes_[o].present) {
+    nodes_[o].present = true;
+    ++num_present_;
+  }
+  return o;
+}
+
+Status SemistructuredInstance::AddObjectById(ObjectId o) {
+  if (o >= dict_.num_objects()) {
+    return Status::NotFound(StrCat("object id ", o, " not in dictionary"));
+  }
+  EnsureSize(o);
+  if (!nodes_[o].present) {
+    nodes_[o].present = true;
+    ++num_present_;
+  }
+  return Status::Ok();
+}
+
+Status SemistructuredInstance::RemoveObject(ObjectId o) {
+  if (!Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not in instance"));
+  }
+  // Remove edges from parents to o.
+  std::vector<ObjectId> parents = nodes_[o].parents;
+  for (ObjectId p : parents) {
+    PXML_RETURN_IF_ERROR(RemoveEdge(p, o));
+  }
+  // Remove edges from o to its children.
+  std::vector<Edge> out = nodes_[o].out;
+  for (const Edge& e : out) {
+    PXML_RETURN_IF_ERROR(RemoveEdge(o, e.child));
+  }
+  nodes_[o] = Node();
+  --num_present_;
+  if (root_ == o) root_ = kInvalidId;
+  return Status::Ok();
+}
+
+Status SemistructuredInstance::SetRoot(ObjectId o) {
+  if (!Present(o)) {
+    return Status::NotFound(StrCat("root object id ", o, " not in instance"));
+  }
+  root_ = o;
+  return Status::Ok();
+}
+
+Status SemistructuredInstance::AddEdge(ObjectId parent, LabelId label,
+                                       ObjectId child) {
+  if (!Present(parent) || !Present(child)) {
+    return Status::NotFound("edge endpoint not in instance");
+  }
+  if (label >= dict_.num_labels()) {
+    return Status::NotFound(StrCat("label id ", label, " not in dictionary"));
+  }
+  for (const Edge& e : nodes_[parent].out) {
+    if (e.child == child) {
+      return Status::FailedPrecondition(
+          StrCat("edge (", dict_.ObjectName(parent), ",",
+                 dict_.ObjectName(child), ") already exists"));
+    }
+  }
+  nodes_[parent].out.push_back(Edge{label, child});
+  nodes_[child].parents.push_back(parent);
+  ++num_edges_;
+  return Status::Ok();
+}
+
+Status SemistructuredInstance::RemoveEdge(ObjectId parent, ObjectId child) {
+  if (!Present(parent) || !Present(child)) {
+    return Status::NotFound("edge endpoint not in instance");
+  }
+  auto& out = nodes_[parent].out;
+  auto it = std::find_if(out.begin(), out.end(),
+                         [&](const Edge& e) { return e.child == child; });
+  if (it == out.end()) {
+    return Status::NotFound(StrCat("no edge (", dict_.ObjectName(parent), ",",
+                                   dict_.ObjectName(child), ")"));
+  }
+  out.erase(it);
+  auto& par = nodes_[child].parents;
+  par.erase(std::find(par.begin(), par.end(), parent));
+  --num_edges_;
+  return Status::Ok();
+}
+
+Status SemistructuredInstance::SetLeafValue(ObjectId o, TypeId type,
+                                            Value v) {
+  if (!Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not in instance"));
+  }
+  if (!dict_.DomainContains(type, v)) {
+    return Status::InvalidArgument(
+        StrCat("value '", v.ToString(), "' not in dom(",
+               type < dict_.num_types() ? dict_.TypeName(type) : "?", ")"));
+  }
+  nodes_[o].type = type;
+  nodes_[o].value = std::move(v);
+  return Status::Ok();
+}
+
+Status SemistructuredInstance::SetType(ObjectId o, TypeId type) {
+  if (!Present(o)) {
+    return Status::NotFound(StrCat("object id ", o, " not in instance"));
+  }
+  if (type >= dict_.num_types()) {
+    return Status::NotFound(StrCat("type id ", type, " not in dictionary"));
+  }
+  nodes_[o].type = type;
+  return Status::Ok();
+}
+
+std::vector<ObjectId> SemistructuredInstance::Objects() const {
+  std::vector<ObjectId> out;
+  out.reserve(num_present_);
+  for (ObjectId o = 0; o < nodes_.size(); ++o) {
+    if (nodes_[o].present) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<ObjectId> SemistructuredInstance::LabeledChildren(
+    ObjectId o, LabelId l) const {
+  std::vector<ObjectId> out;
+  for (const Edge& e : nodes_[o].out) {
+    if (e.label == l) out.push_back(e.child);
+  }
+  return out;
+}
+
+std::optional<LabelId> SemistructuredInstance::EdgeLabel(
+    ObjectId parent, ObjectId child) const {
+  if (!Present(parent)) return std::nullopt;
+  for (const Edge& e : nodes_[parent].out) {
+    if (e.child == child) return e.label;
+  }
+  return std::nullopt;
+}
+
+std::optional<TypeId> SemistructuredInstance::TypeOf(ObjectId o) const {
+  if (!Present(o)) return std::nullopt;
+  return nodes_[o].type;
+}
+
+std::optional<Value> SemistructuredInstance::ValueOf(ObjectId o) const {
+  if (!Present(o)) return std::nullopt;
+  return nodes_[o].value;
+}
+
+std::string SemistructuredInstance::Fingerprint() const {
+  // Name-based so fingerprints stay comparable across instances whose
+  // dictionaries assign different ids to the same names (serialization
+  // round-trips, merged dictionaries, projections).
+  std::vector<std::string> sections;
+  sections.reserve(num_present_);
+  for (ObjectId o = 0; o < nodes_.size(); ++o) {
+    const Node& n = nodes_[o];
+    if (!n.present) continue;
+    std::ostringstream os;
+    os << dict_.ObjectName(o) << '[';
+    if (n.type) os << 't' << dict_.TypeName(*n.type);
+    if (n.value) os << '=' << n.value->ToString();
+    os << ']';
+    // Canonical edge order: by child name (at most one edge per pair).
+    std::vector<Edge> edges = n.out;
+    std::sort(edges.begin(), edges.end(), [&](const Edge& a, const Edge& b) {
+      return dict_.ObjectName(a.child) < dict_.ObjectName(b.child);
+    });
+    for (const Edge& e : edges) {
+      os << '(' << dict_.LabelName(e.label) << ','
+         << dict_.ObjectName(e.child) << ')';
+    }
+    os << ';';
+    sections.push_back(os.str());
+  }
+  std::sort(sections.begin(), sections.end());
+  std::string out =
+      "r=" + (root_ != kInvalidId ? dict_.ObjectName(root_)
+                                  : std::string("<none>")) + ";";
+  for (const std::string& s : sections) out += s;
+  return out;
+}
+
+std::string SemistructuredInstance::ToString() const {
+  std::ostringstream os;
+  os << "instance root="
+     << (HasRoot() ? dict_.ObjectName(root_) : std::string("<none>"))
+     << " objects=" << num_present_ << " edges=" << num_edges_ << '\n';
+  for (ObjectId o : Objects()) {
+    os << "  " << dict_.ObjectName(o);
+    const Node& n = nodes_[o];
+    if (n.type) os << " : " << dict_.TypeName(*n.type);
+    if (n.value) os << " = " << n.value->ToString();
+    if (!n.out.empty()) {
+      os << " ->";
+      for (const Edge& e : n.out) {
+        os << ' ' << dict_.LabelName(e.label) << ':'
+           << dict_.ObjectName(e.child);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pxml

@@ -1,0 +1,145 @@
+#ifndef PXML_GRAPH_INSTANCE_H_
+#define PXML_GRAPH_INSTANCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/symbols.h"
+#include "prob/value.h"
+#include "util/id_set.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// A labeled edge out of an object.
+struct Edge {
+  LabelId label = kInvalidId;
+  ObjectId child = kInvalidId;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.label == b.label && a.child == b.child;
+  }
+};
+
+/// An ordinary (non-probabilistic) semistructured instance — the OEM-style
+/// model of Def 3.3: a rooted, edge-labeled directed graph S = (V, E, l,
+/// tau, val) where leaves carry a type and a value from that type's domain.
+///
+/// The instance owns a Dictionary mapping names to dense ids; objects known
+/// to the dictionary but not added to the instance are simply absent from
+/// V. Between any ordered pair of objects there is at most one edge (E is a
+/// set of pairs; l maps each edge to a single label).
+///
+/// Following the paper, τ and val are *partial* on non-leaf objects, and —
+/// to accommodate projection results (Fig 4), where former interior objects
+/// become childless — they may also be absent on a leaf.
+class SemistructuredInstance {
+ public:
+  SemistructuredInstance() = default;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Replaces the dictionary wholesale (used when deriving an instance
+  /// that must share ids with a parent model). Does not touch V or E.
+  void SetDictionary(Dictionary dict) { dict_ = std::move(dict); }
+
+  /// Interns `name` and adds the object to V (idempotent).
+  ObjectId AddObject(std::string_view name);
+
+  /// Adds an already-interned object id to V.
+  Status AddObjectById(ObjectId o);
+
+  /// Removes `o` from V together with all edges touching it. Clears the
+  /// root if the root is removed.
+  Status RemoveObject(ObjectId o);
+
+  /// Declares `o` the root; `o` must be in V.
+  Status SetRoot(ObjectId o);
+  ObjectId root() const { return root_; }
+  bool HasRoot() const { return root_ != kInvalidId; }
+
+  /// Adds the edge (parent, child) with the given label. Fails if either
+  /// endpoint is absent or an edge between the pair already exists.
+  Status AddEdge(ObjectId parent, LabelId label, ObjectId child);
+
+  /// Removes the edge (parent, child); fails if no such edge.
+  Status RemoveEdge(ObjectId parent, ObjectId child);
+
+  /// Assigns tau(o) = type and val(o) = v; fails unless v is in dom(type).
+  Status SetLeafValue(ObjectId o, TypeId type, Value v);
+
+  /// Assigns tau(o) only (no value yet).
+  Status SetType(ObjectId o, TypeId type);
+
+  bool Present(ObjectId o) const {
+    return o < nodes_.size() && nodes_[o].present;
+  }
+
+  /// Number of objects in V.
+  std::size_t num_objects() const { return num_present_; }
+  /// Number of edges in E.
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// All object ids in V, ascending.
+  std::vector<ObjectId> Objects() const;
+
+  /// Out-edges of o in insertion order. Precondition: Present(o).
+  const std::vector<Edge>& Children(ObjectId o) const {
+    return nodes_[o].out;
+  }
+
+  /// lch(o, l): children of o reachable by an l-labeled edge (Def 3.2).
+  std::vector<ObjectId> LabeledChildren(ObjectId o, LabelId l) const;
+
+  /// The label on edge (parent, child), if present.
+  std::optional<LabelId> EdgeLabel(ObjectId parent, ObjectId child) const;
+
+  /// parents(o). Precondition: Present(o).
+  const std::vector<ObjectId>& Parents(ObjectId o) const {
+    return nodes_[o].parents;
+  }
+
+  /// True iff o has no children (Def 3.2's leaf).
+  bool IsLeaf(ObjectId o) const { return nodes_[o].out.empty(); }
+
+  std::optional<TypeId> TypeOf(ObjectId o) const;
+  std::optional<Value> ValueOf(ObjectId o) const;
+
+  /// A canonical text encoding of (V, E, l, tau, val) — equal instances
+  /// (same dictionary) produce equal fingerprints. Used to merge identical
+  /// worlds when computing algebra results under the global semantics.
+  std::string Fingerprint() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+  /// Structural equality over (root, V, E, l, tau, val); assumes both
+  /// sides share a dictionary (compares ids, not names).
+  friend bool operator==(const SemistructuredInstance& a,
+                         const SemistructuredInstance& b) {
+    return a.root_ == b.root_ && a.Fingerprint() == b.Fingerprint();
+  }
+
+ private:
+  struct Node {
+    bool present = false;
+    std::vector<Edge> out;
+    std::vector<ObjectId> parents;
+    std::optional<TypeId> type;
+    std::optional<Value> value;
+  };
+
+  void EnsureSize(ObjectId o);
+
+  Dictionary dict_;
+  std::vector<Node> nodes_;
+  ObjectId root_ = kInvalidId;
+  std::size_t num_present_ = 0;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace pxml
+
+#endif  // PXML_GRAPH_INSTANCE_H_

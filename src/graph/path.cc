@@ -1,0 +1,66 @@
+#include "graph/path.h"
+
+#include "util/strings.h"
+
+namespace pxml {
+
+std::string PathExpression::ToString(const Dictionary& dict) const {
+  std::string out = start < dict.num_objects() ? dict.ObjectName(start)
+                                               : std::string("<invalid>");
+  for (LabelId l : labels) {
+    out += '.';
+    out += l < dict.num_labels() ? dict.LabelName(l) : std::string("<?>");
+  }
+  return out;
+}
+
+Result<IdSet> EvaluatePath(const SemistructuredInstance& instance,
+                           const PathExpression& path) {
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PathLayers(instance, path));
+  return layers.back();
+}
+
+Result<std::vector<IdSet>> PathLayers(const SemistructuredInstance& instance,
+                                      const PathExpression& path) {
+  if (!instance.Present(path.start)) {
+    return Status::NotFound(
+        StrCat("path start object id ", path.start, " not in instance"));
+  }
+  std::vector<IdSet> layers;
+  layers.reserve(path.labels.size() + 1);
+  layers.push_back(IdSet{path.start});
+  for (LabelId l : path.labels) {
+    std::vector<std::uint32_t> next;
+    for (ObjectId o : layers.back()) {
+      for (const Edge& e : instance.Children(o)) {
+        if (e.label == l) next.push_back(e.child);
+      }
+    }
+    layers.push_back(IdSet(std::move(next)));
+  }
+  return layers;
+}
+
+Result<std::vector<IdSet>> PrunedPathLayers(
+    const SemistructuredInstance& instance, const PathExpression& path) {
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PathLayers(instance, path));
+  // Backward prune: keep objects that can continue to the final layer.
+  for (std::size_t i = layers.size() - 1; i-- > 0;) {
+    LabelId l = path.labels[i];
+    std::vector<std::uint32_t> kept;
+    for (ObjectId o : layers[i]) {
+      for (const Edge& e : instance.Children(o)) {
+        if (e.label == l && layers[i + 1].Contains(e.child)) {
+          kept.push_back(o);
+          break;
+        }
+      }
+    }
+    layers[i] = IdSet(std::move(kept));
+  }
+  return layers;
+}
+
+}  // namespace pxml

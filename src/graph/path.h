@@ -1,0 +1,46 @@
+#ifndef PXML_GRAPH_PATH_H_
+#define PXML_GRAPH_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/instance.h"
+#include "graph/symbols.h"
+#include "util/id_set.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// A path expression p = r.l1...ln (Def 5.1): a start object followed by a
+/// (possibly empty) sequence of edge labels. p denotes the set of objects
+/// reachable from r via edges labeled l1, ..., ln in order.
+struct PathExpression {
+  ObjectId start = kInvalidId;
+  std::vector<LabelId> labels;
+
+  std::size_t length() const { return labels.size(); }
+
+  /// "R.book.author" rendered with `dict`'s names.
+  std::string ToString(const Dictionary& dict) const;
+};
+
+/// Evaluates p on an instance: the set of objects o with o in p.
+/// Fails if p.start is not in the instance.
+Result<IdSet> EvaluatePath(const SemistructuredInstance& instance,
+                           const PathExpression& path);
+
+/// The forward layers F_0..F_n of p: F_0 = {start}, F_{i+1} = objects
+/// reachable from F_i via an edge labeled l_{i+1}. F_n = EvaluatePath(p).
+Result<std::vector<IdSet>> PathLayers(const SemistructuredInstance& instance,
+                                      const PathExpression& path);
+
+/// The pruned layers K_0..K_n used by ancestor projection (Def 5.2):
+/// K_n = F_n, and K_i keeps only those objects of F_i with an
+/// l_{i+1}-labeled edge into K_{i+1} — i.e. the objects on some full
+/// root-to-target label path. K_0 is empty iff p matches nothing.
+Result<std::vector<IdSet>> PrunedPathLayers(
+    const SemistructuredInstance& instance, const PathExpression& path);
+
+}  // namespace pxml
+
+#endif  // PXML_GRAPH_PATH_H_

@@ -1,0 +1,94 @@
+#ifndef PXML_GRAPH_SYMBOLS_H_
+#define PXML_GRAPH_SYMBOLS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "prob/value.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Dense ids for the three name spaces of the model: objects O, edge
+/// labels L, and leaf types T (Def 3.3).
+using ObjectId = std::uint32_t;
+using LabelId = std::uint32_t;
+using TypeId = std::uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Interns strings to dense, stable 32-bit ids.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, creating it if new.
+  std::uint32_t Intern(std::string_view name);
+
+  /// Returns the id for `name` if it was interned, otherwise nullopt.
+  std::optional<std::uint32_t> Find(std::string_view name) const;
+
+  /// The name for `id`. Precondition: id < size().
+  const std::string& Name(std::uint32_t id) const { return names_[id]; }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+/// The shared vocabulary of an instance: object names, edge labels, and
+/// leaf types with their finite value domains.
+///
+/// A Dictionary is owned by each (weak / probabilistic / semistructured)
+/// instance; instances derived from one another (compatible worlds,
+/// algebra results) carry copies so object ids remain comparable.
+class Dictionary {
+ public:
+  ObjectId InternObject(std::string_view name) { return objects_.Intern(name); }
+  LabelId InternLabel(std::string_view name) { return labels_.Intern(name); }
+
+  /// Defines (or redefines) a leaf type with the given finite domain.
+  /// The domain must be non-empty and duplicate-free.
+  Result<TypeId> DefineType(std::string_view name, std::vector<Value> domain);
+
+  std::optional<ObjectId> FindObject(std::string_view name) const {
+    return objects_.Find(name);
+  }
+  std::optional<LabelId> FindLabel(std::string_view name) const {
+    return labels_.Find(name);
+  }
+  std::optional<TypeId> FindType(std::string_view name) const {
+    return types_.Find(name);
+  }
+
+  const std::string& ObjectName(ObjectId id) const {
+    return objects_.Name(id);
+  }
+  const std::string& LabelName(LabelId id) const { return labels_.Name(id); }
+  const std::string& TypeName(TypeId id) const { return types_.Name(id); }
+
+  /// The finite domain dom(t). Precondition: t < num_types().
+  const std::vector<Value>& TypeDomain(TypeId t) const { return domains_[t]; }
+
+  /// True iff `v` is a member of dom(t).
+  bool DomainContains(TypeId t, const Value& v) const;
+
+  std::size_t num_objects() const { return objects_.size(); }
+  std::size_t num_labels() const { return labels_.size(); }
+  std::size_t num_types() const { return types_.size(); }
+
+ private:
+  SymbolTable objects_;
+  SymbolTable labels_;
+  SymbolTable types_;
+  std::vector<std::vector<Value>> domains_;  // indexed by TypeId
+};
+
+}  // namespace pxml
+
+#endif  // PXML_GRAPH_SYMBOLS_H_

@@ -1,0 +1,134 @@
+#ifndef PXML_INTERVAL_INTERVAL_MODEL_H_
+#define PXML_INTERVAL_INTERVAL_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/probabilistic_instance.h"
+#include "core/weak_instance.h"
+#include "interval/interval_prob.h"
+#include "prob/value.h"
+#include "util/id_set.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// An interval OPF: each potential child set carries a probability
+/// *interval*; the table denotes the set of point OPFs w with
+/// lo_c <= w(c) <= hi_c for every row (and w(c) = 0 off the support).
+/// Consistency requires Σ lo <= 1 <= Σ hi.
+class IntervalOpf {
+ public:
+  struct Entry {
+    IdSet child_set;
+    IntervalProb prob;
+  };
+
+  IntervalOpf() = default;
+
+  /// Sets the interval for a child set (overwrites).
+  void Set(IdSet child_set, IntervalProb prob);
+
+  /// The row interval; [0, 0] for sets off the support.
+  IntervalProb Get(const IdSet& child_set) const;
+
+  const std::vector<Entry>& Entries() const { return rows_; }
+  std::size_t NumEntries() const { return rows_.size(); }
+
+  /// OK iff all intervals are valid and Σ lo <= 1 <= Σ hi.
+  Status Validate() const;
+
+  /// Shrinks each row to the bounds implied by the others:
+  /// lo' = max(lo, 1 - Σ_other hi),  hi' = min(hi, 1 - Σ_other lo).
+  /// Idempotent; fails if the table is inconsistent.
+  Status Tighten();
+
+  /// True iff the point OPF lies within the bounds: every point row's
+  /// mass within the matching interval, every off-support point row ~0,
+  /// and every interval row with lo > 0 present in the point support.
+  bool ContainsPoint(const Opf& point, double eps = 1e-9) const;
+
+  /// Tight bounds on the marginal P(child occurs) over all point OPFs in
+  /// the table (a box-simplex LP in each direction).
+  Result<IntervalProb> MarginalChildProb(ObjectId child) const;
+
+  std::string ToString(const Dictionary& dict) const;
+
+ private:
+  std::vector<Entry> rows_;  // sorted by child_set
+};
+
+/// An interval VPF over a leaf's value domain; same semantics as
+/// IntervalOpf with values for keys.
+class IntervalVpf {
+ public:
+  struct Entry {
+    Value value;
+    IntervalProb prob;
+  };
+
+  void Set(Value value, IntervalProb prob);
+  IntervalProb Get(const Value& value) const;
+  const std::vector<Entry>& Entries() const { return rows_; }
+
+  Status Validate() const;
+  bool ContainsPoint(const Vpf& point, double eps = 1e-9) const;
+
+ private:
+  std::vector<Entry> rows_;  // sorted by value
+};
+
+/// An interval probabilistic instance: a weak instance whose local
+/// interpretation assigns interval OPFs/VPFs. It denotes the (convex)
+/// set of ordinary probabilistic instances obtained by picking, for each
+/// object, any point distribution within its bounds.
+class IntervalInstance {
+ public:
+  IntervalInstance() = default;
+  IntervalInstance(const IntervalInstance& other);
+  IntervalInstance& operator=(const IntervalInstance& other);
+  IntervalInstance(IntervalInstance&&) = default;
+  IntervalInstance& operator=(IntervalInstance&&) = default;
+
+  WeakInstance& weak() { return weak_; }
+  const WeakInstance& weak() const { return weak_; }
+  Dictionary& dict() { return weak_.dict(); }
+  const Dictionary& dict() const { return weak_.dict(); }
+
+  Status SetOpf(ObjectId o, IntervalOpf opf);
+  Status SetVpf(ObjectId o, IntervalVpf vpf);
+  const IntervalOpf* GetOpf(ObjectId o) const;
+  const IntervalVpf* GetVpf(ObjectId o) const;
+
+  /// Wraps a point instance in degenerate intervals.
+  static Result<IntervalInstance> FromPoint(
+      const ProbabilisticInstance& instance);
+
+  /// A copy whose every row is widened by ±delta (clamped into [0,1]);
+  /// the result always contains the original point instance.
+  static Result<IntervalInstance> Widen(
+      const ProbabilisticInstance& instance, double delta);
+
+  /// OK iff the point instance's local functions all lie within bounds
+  /// (same weak instance assumed; checked per object id).
+  Status CheckContainsPoint(const ProbabilisticInstance& point) const;
+
+  /// Draws a point instance inside the bounds: each OPF/VPF starts at
+  /// its lows and spends the remaining mass randomly across rows.
+  Result<ProbabilisticInstance> SamplePointInstance(Rng& rng) const;
+
+ private:
+  WeakInstance weak_;
+  std::vector<std::unique_ptr<IntervalOpf>> opfs_;
+  std::vector<std::unique_ptr<IntervalVpf>> vpfs_;
+
+  void EnsureSize(ObjectId o);
+};
+
+/// Weak-instance checks plus per-object interval consistency.
+Status ValidateIntervalInstance(const IntervalInstance& instance);
+
+}  // namespace pxml
+
+#endif  // PXML_INTERVAL_INTERVAL_MODEL_H_

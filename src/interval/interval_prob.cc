@@ -1,0 +1,88 @@
+#include "interval/interval_prob.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "prob/distribution.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<IntervalProb> IntervalProb::Make(double lo, double hi) {
+  IntervalProb p(lo, hi);
+  if (!p.valid()) {
+    return Status::InvalidArgument(
+        StrCat("invalid probability interval [", lo, ",", hi, "]"));
+  }
+  return p;
+}
+
+IntervalProb IntervalProb::Add(const IntervalProb& other) const {
+  return IntervalProb(std::min(1.0, lo_ + other.lo_),
+                      std::min(1.0, hi_ + other.hi_));
+}
+
+IntervalProb IntervalProb::Hull(const IntervalProb& other) const {
+  return IntervalProb(std::min(lo_, other.lo_), std::max(hi_, other.hi_));
+}
+
+IntervalProb IntervalProb::Intersect(const IntervalProb& other) const {
+  return IntervalProb(std::max(lo_, other.lo_), std::min(hi_, other.hi_));
+}
+
+std::string IntervalProb::ToString() const {
+  std::ostringstream os;
+  os << '[' << lo_ << ',' << hi_ << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalProb& p) {
+  return os << p.ToString();
+}
+
+Result<double> OptimizeBoxSimplex(const std::vector<double>& lo,
+                                  const std::vector<double>& hi,
+                                  const std::vector<double>& weight,
+                                  bool maximize) {
+  const std::size_t n = lo.size();
+  if (hi.size() != n || weight.size() != n) {
+    return Status::InvalidArgument("lo/hi/weight size mismatch");
+  }
+  double lo_sum = 0.0;
+  double hi_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lo[i] < -kProbEps || hi[i] > 1.0 + kProbEps || lo[i] > hi[i]) {
+      return Status::InvalidArgument("row bounds outside [0,1]");
+    }
+    lo_sum += lo[i];
+    hi_sum += hi[i];
+  }
+  if (lo_sum > 1.0 + kProbEps || hi_sum < 1.0 - kProbEps) {
+    return Status::FailedPrecondition(
+        StrCat("infeasible interval distribution: sum(lo)=", lo_sum,
+               " sum(hi)=", hi_sum));
+  }
+  // Start at the lows; spend the remainder greedily by weight.
+  double objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i) objective += lo[i] * weight[i];
+  double remaining = 1.0 - lo_sum;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return maximize ? weight[a] > weight[b] : weight[a] < weight[b];
+  });
+  for (std::size_t i : order) {
+    if (remaining <= 0.0) break;
+    double take = std::min(remaining, hi[i] - lo[i]);
+    objective += take * weight[i];
+    remaining -= take;
+  }
+  if (remaining > kProbEps) {
+    return Status::Internal("box-simplex optimizer failed to spend mass");
+  }
+  return objective;
+}
+
+}  // namespace pxml

@@ -1,0 +1,95 @@
+#ifndef PXML_INTERVAL_INTERVAL_PROB_H_
+#define PXML_INTERVAL_INTERVAL_PROB_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pxml {
+
+/// A probability interval [lo, hi] ⊆ [0, 1] — the building block of the
+/// interval-probability extension (the companion "Probabilistic Interval
+/// XML" direction the paper cites, [14]). Interval arithmetic here is
+/// the standard outer-bound calculus: results always contain every value
+/// obtainable by picking points within the operands.
+class IntervalProb {
+ public:
+  /// The vacuous interval [0, 1].
+  IntervalProb() : lo_(0.0), hi_(1.0) {}
+
+  /// Unchecked constructor; prefer Make() for caller input.
+  IntervalProb(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  /// Validated: requires 0 <= lo <= hi <= 1.
+  static Result<IntervalProb> Make(double lo, double hi);
+
+  /// The degenerate interval [p, p].
+  static IntervalProb Point(double p) { return IntervalProb(p, p); }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  bool valid() const {
+    return lo_ >= 0.0 && lo_ <= hi_ && hi_ <= 1.0;
+  }
+  bool IsPoint() const { return lo_ == hi_; }
+
+  /// True iff lo - eps <= p <= hi + eps.
+  bool Contains(double p, double eps = 1e-9) const {
+    return p >= lo_ - eps && p <= hi_ + eps;
+  }
+
+  /// [lo*lo', hi*hi'] — exact for products of independent probabilities.
+  IntervalProb Mult(const IntervalProb& other) const {
+    return IntervalProb(lo_ * other.lo_, hi_ * other.hi_);
+  }
+
+  /// [1-hi, 1-lo].
+  IntervalProb Complement() const {
+    return IntervalProb(1.0 - hi_, 1.0 - lo_);
+  }
+
+  /// [lo+lo', hi+hi'] clamped into [0, 1] (sound for probabilities of
+  /// disjoint events).
+  IntervalProb Add(const IntervalProb& other) const;
+
+  /// Smallest interval containing both.
+  IntervalProb Hull(const IntervalProb& other) const;
+
+  /// Intersection; invalid (lo > hi) if disjoint.
+  IntervalProb Intersect(const IntervalProb& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const IntervalProb& a, const IntervalProb& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+  friend bool operator!=(const IntervalProb& a, const IntervalProb& b) {
+    return !(a == b);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalProb& p);
+
+/// Solves the box-simplex linear program underlying interval OPF/VPF
+/// queries:  optimize  Σ_i p_i * weight_i  subject to
+/// p_i ∈ [lo_i, hi_i] and Σ p_i = 1. Returns the optimum, or an error if
+/// the constraints are infeasible (Σlo > 1 or Σhi < 1).
+///
+/// Greedy exchange argument: start from the lows and spend the remaining
+/// 1 - Σlo on the largest (maximize) or smallest (minimize) weights
+/// first.
+Result<double> OptimizeBoxSimplex(const std::vector<double>& lo,
+                                  const std::vector<double>& hi,
+                                  const std::vector<double>& weight,
+                                  bool maximize);
+
+}  // namespace pxml
+
+#endif  // PXML_INTERVAL_INTERVAL_PROB_H_

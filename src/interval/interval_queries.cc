@@ -1,0 +1,89 @@
+#include "interval/interval_queries.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// The shared interval ε-propagation: targets carry ε = [1,1] (or are
+/// restricted to `only_target` with everything else at [0,0]).
+Result<IntervalProb> PropagateIntervalEpsilon(
+    const IntervalInstance& instance, const PathExpression& path,
+    ObjectId only_target) {
+  const WeakInstance& weak = instance.weak();
+  PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+  if (path.start != weak.root()) {
+    return Status::InvalidArgument(
+        "interval queries start at the root");
+  }
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(weak, path));
+  const std::size_t n = path.labels.size();
+  if (only_target != kInvalidId && !layers[n].Contains(only_target)) {
+    return IntervalProb::Point(0.0);
+  }
+  if (layers[n].empty()) return IntervalProb::Point(0.0);
+
+  std::vector<IntervalProb> eps(weak.dict().num_objects(),
+                                IntervalProb(0.0, 0.0));
+  for (ObjectId o : layers[n]) {
+    if (only_target == kInvalidId || o == only_target) {
+      eps[o] = IntervalProb(1.0, 1.0);
+    }
+  }
+  if (n == 0) return eps[weak.root()];
+
+  for (std::size_t level = n; level-- > 0;) {
+    const LabelId l = path.labels[level];
+    for (ObjectId o : layers[level]) {
+      const IdSet retained = weak.Lch(o, l).Intersect(layers[level + 1]);
+      const IntervalOpf* opf = instance.GetOpf(o);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("non-leaf '", weak.dict().ObjectName(o),
+                   "' has no interval OPF"));
+      }
+      // Per row: w_lo/w_hi = bounds on P(some retained child survives).
+      std::vector<double> lo;
+      std::vector<double> hi;
+      std::vector<double> w_lo;
+      std::vector<double> w_hi;
+      for (const IntervalOpf::Entry& row : opf->Entries()) {
+        lo.push_back(row.prob.lo());
+        hi.push_back(row.prob.hi());
+        double none_hi = 1.0;  // upper bound on "no child survives"
+        double none_lo = 1.0;  // lower bound on "no child survives"
+        for (ObjectId j : row.child_set.Intersect(retained)) {
+          none_hi *= 1.0 - eps[j].lo();
+          none_lo *= 1.0 - eps[j].hi();
+        }
+        w_lo.push_back(1.0 - none_hi);
+        w_hi.push_back(1.0 - none_lo);
+      }
+      PXML_ASSIGN_OR_RETURN(double e_lo,
+                            OptimizeBoxSimplex(lo, hi, w_lo, false));
+      PXML_ASSIGN_OR_RETURN(double e_hi,
+                            OptimizeBoxSimplex(lo, hi, w_hi, true));
+      eps[o] = IntervalProb(std::max(0.0, e_lo), std::min(1.0, e_hi));
+    }
+  }
+  return eps[weak.root()];
+}
+
+}  // namespace
+
+Result<IntervalProb> IntervalPointQuery(const IntervalInstance& instance,
+                                        const PathExpression& path,
+                                        ObjectId object) {
+  return PropagateIntervalEpsilon(instance, path, object);
+}
+
+Result<IntervalProb> IntervalExistsQuery(const IntervalInstance& instance,
+                                         const PathExpression& path) {
+  return PropagateIntervalEpsilon(instance, path, kInvalidId);
+}
+
+}  // namespace pxml

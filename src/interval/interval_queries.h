@@ -1,0 +1,32 @@
+#ifndef PXML_INTERVAL_INTERVAL_QUERIES_H_
+#define PXML_INTERVAL_INTERVAL_QUERIES_H_
+
+#include "graph/path.h"
+#include "interval/interval_model.h"
+#include "interval/interval_prob.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Bounds on P(o ∈ p) over every point instance within the interval
+/// instance's bounds: the §6.2 ε-propagation run in interval arithmetic.
+///
+/// Per node, ε_o = Σ_c w(c)·(1 − Π_{j ∈ c∩R}(1−ε_j)) is linear in the
+/// OPF rows and monotone in the children's ε, so the lower (upper) bound
+/// is the box-simplex LP minimum (maximum) with weights built from the
+/// children's lower (upper) ε. The result is a sound outer bound; it is
+/// tight when each object's bounds are achieved independently (which the
+/// model's independence semantics permits).
+///
+/// Requires a tree-shaped weak instance, like the point version.
+Result<IntervalProb> IntervalPointQuery(const IntervalInstance& instance,
+                                        const PathExpression& path,
+                                        ObjectId object);
+
+/// Bounds on P(∃ o ∈ p).
+Result<IntervalProb> IntervalExistsQuery(const IntervalInstance& instance,
+                                         const PathExpression& path);
+
+}  // namespace pxml
+
+#endif  // PXML_INTERVAL_INTERVAL_QUERIES_H_

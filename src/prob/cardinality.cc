@@ -1,0 +1,51 @@
+#include "prob/cardinality.h"
+
+#include <algorithm>
+
+namespace pxml {
+
+namespace {
+bool EntryLess(const CardinalityMap::Entry& e, ObjectId o, LabelId l) {
+  return e.object != o ? e.object < o : e.label < l;
+}
+}  // namespace
+
+void CardinalityMap::Set(ObjectId o, LabelId l, IntInterval interval) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(o, l),
+      [](const Entry& e, const std::pair<ObjectId, LabelId>& key) {
+        return EntryLess(e, key.first, key.second);
+      });
+  if (it != entries_.end() && it->object == o && it->label == l) {
+    it->interval = interval;
+  } else {
+    entries_.insert(it, Entry{o, l, interval});
+  }
+}
+
+IntInterval CardinalityMap::Get(ObjectId o, LabelId l) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(o, l),
+      [](const Entry& e, const std::pair<ObjectId, LabelId>& key) {
+        return EntryLess(e, key.first, key.second);
+      });
+  if (it != entries_.end() && it->object == o && it->label == l) {
+    return it->interval;
+  }
+  return IntInterval();
+}
+
+bool CardinalityMap::HasEntry(ObjectId o, LabelId l) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(o, l),
+      [](const Entry& e, const std::pair<ObjectId, LabelId>& key) {
+        return EntryLess(e, key.first, key.second);
+      });
+  return it != entries_.end() && it->object == o && it->label == l;
+}
+
+std::vector<CardinalityMap::Entry> CardinalityMap::Entries() const {
+  return entries_;
+}
+
+}  // namespace pxml

@@ -1,0 +1,45 @@
+#ifndef PXML_PROB_CARDINALITY_H_
+#define PXML_PROB_CARDINALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/symbols.h"
+#include "util/interval.h"
+
+namespace pxml {
+
+/// The card map of a weak instance (Def 3.4.5): per (object, label), the
+/// closed interval constraining how many l-labeled children the object has
+/// in any compatible world. Pairs without an explicit entry default to the
+/// unconstrained interval [0, *].
+class CardinalityMap {
+ public:
+  /// Sets card(o, l) = interval (overwriting any previous entry).
+  void Set(ObjectId o, LabelId l, IntInterval interval);
+
+  /// card(o, l); [0, *] if never set.
+  IntInterval Get(ObjectId o, LabelId l) const;
+
+  /// True iff an explicit entry exists for (o, l).
+  bool HasEntry(ObjectId o, LabelId l) const;
+
+  /// All explicit entries, deterministic order.
+  struct Entry {
+    ObjectId object;
+    LabelId label;
+    IntInterval interval;
+  };
+  std::vector<Entry> Entries() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Sorted by (object, label) for deterministic iteration and O(log n)
+  // lookup.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pxml
+
+#endif  // PXML_PROB_CARDINALITY_H_

@@ -1,0 +1,50 @@
+#include "prob/distribution.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+double SumProbs(const std::vector<double>& probs) {
+  // Kahan summation: OPF tables can have ~2^b entries and the coherence
+  // checks compare the mass against 1 with a tight tolerance.
+  double sum = 0.0;
+  double carry = 0.0;
+  for (double p : probs) {
+    double y = p - carry;
+    double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+Status ValidateProbabilityVector(const std::vector<double>& probs) {
+  for (double p : probs) {
+    if (!(p >= -kProbEps && p <= 1.0 + kProbEps)) {
+      return Status::InvalidArgument(
+          StrCat("probability ", p, " outside [0,1]"));
+    }
+  }
+  double sum = SumProbs(probs);
+  if (std::abs(sum - 1.0) > kProbEps) {
+    return Status::InvalidArgument(
+        StrCat("probabilities sum to ", sum, ", expected 1"));
+  }
+  return Status::Ok();
+}
+
+Status NormalizeInPlace(std::vector<double>& probs) {
+  double sum = SumProbs(probs);
+  if (sum <= kProbEps) {
+    return Status::FailedPrecondition(
+        "cannot normalize a ~zero-mass distribution");
+  }
+  for (double& p : probs) p /= sum;
+  return Status::Ok();
+}
+
+bool ProbNear(double a, double b) { return std::abs(a - b) <= kProbEps; }
+
+}  // namespace pxml

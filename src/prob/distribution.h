@@ -1,0 +1,32 @@
+#ifndef PXML_PROB_DISTRIBUTION_H_
+#define PXML_PROB_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pxml {
+
+/// Tolerance used everywhere a probability mass must equal 1 (or a
+/// probability must lie in [0,1]). Sums of a few million doubles keep well
+/// within this bound.
+inline constexpr double kProbEps = 1e-7;
+
+/// OK iff every p in `probs` is in [-kProbEps, 1+kProbEps] and the total
+/// mass is within kProbEps of 1.
+Status ValidateProbabilityVector(const std::vector<double>& probs);
+
+/// Sum of `probs`.
+double SumProbs(const std::vector<double>& probs);
+
+/// Divides each entry by the total mass. Fails if the mass is ~0.
+Status NormalizeInPlace(std::vector<double>& probs);
+
+/// True iff |a - b| <= kProbEps (absolute comparison; all our masses are
+/// in [0,1]).
+bool ProbNear(double a, double b);
+
+}  // namespace pxml
+
+#endif  // PXML_PROB_DISTRIBUTION_H_

@@ -1,0 +1,335 @@
+#include "prob/opf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "prob/distribution.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+double Opf::MarginalChildProb(ObjectId child) const {
+  double p = 0.0;
+  for (const OpfEntry& e : Entries()) {
+    if (e.child_set.Contains(child)) p += e.prob;
+  }
+  return p;
+}
+
+IdSet Opf::SampleChildSet(Rng& rng) const {
+  double u = rng.NextDouble();
+  std::vector<OpfEntry> entries = Entries();
+  double cum = 0.0;
+  for (const OpfEntry& e : entries) {
+    cum += e.prob;
+    if (u < cum) return e.child_set;
+  }
+  // Rounding slack: return the last positive row.
+  for (std::size_t i = entries.size(); i-- > 0;) {
+    if (entries[i].prob > 0.0) return entries[i].child_set;
+  }
+  return IdSet();
+}
+
+Status Opf::Validate() const {
+  std::vector<OpfEntry> entries = Entries();
+  std::vector<double> probs;
+  probs.reserve(entries.size());
+  for (const OpfEntry& e : entries) probs.push_back(e.prob);
+  return ValidateProbabilityVector(probs);
+}
+
+std::string Opf::ToString(const Dictionary& dict) const {
+  std::ostringstream os;
+  os << RepresentationName() << " OPF {\n";
+  for (const OpfEntry& e : Entries()) {
+    os << "  {";
+    bool first = true;
+    for (ObjectId o : e.child_set) {
+      if (!first) os << ',';
+      first = false;
+      os << dict.ObjectName(o);
+    }
+    os << "} -> " << e.prob << '\n';
+  }
+  os << '}';
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Explicit
+
+ExplicitOpf ExplicitOpf::FromEntries(std::vector<OpfEntry> entries) {
+  // Bulk path: one sort instead of per-row sorted insertion.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const OpfEntry& a, const OpfEntry& b) {
+                     return a.child_set < b.child_set;
+                   });
+  // Later duplicates overwrite earlier ones.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (out > 0 && entries[out - 1].child_set == entries[i].child_set) {
+      entries[out - 1].prob = entries[i].prob;
+    } else {
+      if (out != i) entries[out] = std::move(entries[i]);
+      ++out;
+    }
+  }
+  entries.resize(out);
+  ExplicitOpf opf;
+  opf.rows_ = std::move(entries);
+  return opf;
+}
+
+void ExplicitOpf::Set(IdSet child_set, double prob) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), child_set,
+                             [](const OpfEntry& e, const IdSet& key) {
+                               return e.child_set < key;
+                             });
+  if (it != rows_.end() && it->child_set == child_set) {
+    it->prob = prob;
+  } else {
+    rows_.insert(it, OpfEntry{std::move(child_set), prob});
+  }
+}
+
+double ExplicitOpf::Prob(const IdSet& child_set) const {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), child_set,
+                             [](const OpfEntry& e, const IdSet& key) {
+                               return e.child_set < key;
+                             });
+  if (it != rows_.end() && it->child_set == child_set) return it->prob;
+  return 0.0;
+}
+
+IdSet ExplicitOpf::ChildUniverse() const {
+  IdSet out;
+  for (const OpfEntry& e : rows_) out = out.Union(e.child_set);
+  return out;
+}
+
+double ExplicitOpf::MarginalChildProb(ObjectId child) const {
+  double p = 0.0;
+  for (const OpfEntry& e : rows_) {
+    if (e.child_set.Contains(child)) p += e.prob;
+  }
+  return p;
+}
+
+std::unique_ptr<Opf> ExplicitOpf::Remap(
+    const std::vector<ObjectId>& mapping,
+    const std::vector<LabelId>* /*label_mapping*/) const {
+  auto out = std::make_unique<ExplicitOpf>();
+  for (const OpfEntry& e : rows_) {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(e.child_set.size());
+    for (ObjectId o : e.child_set) ids.push_back(mapping[o]);
+    out->Set(IdSet(std::move(ids)), e.prob);
+  }
+  return out;
+}
+
+Status ExplicitOpf::Normalize() {
+  std::vector<double> probs;
+  probs.reserve(rows_.size());
+  for (const OpfEntry& e : rows_) probs.push_back(e.prob);
+  PXML_RETURN_IF_ERROR(NormalizeInPlace(probs));
+  for (std::size_t i = 0; i < rows_.size(); ++i) rows_[i].prob = probs[i];
+  return Status::Ok();
+}
+
+void ExplicitOpf::PruneZeroRows(double threshold) {
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&](const OpfEntry& e) {
+                               return e.prob <= threshold;
+                             }),
+              rows_.end());
+}
+
+// ------------------------------------------------------------- Independent
+
+Status IndependentOpf::AddChild(ObjectId child, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument(
+        StrCat("child probability ", p, " outside [0,1]"));
+  }
+  auto it = std::lower_bound(
+      children_.begin(), children_.end(), child,
+      [](const std::pair<ObjectId, double>& e, ObjectId key) {
+        return e.first < key;
+      });
+  if (it != children_.end() && it->first == child) {
+    return Status::FailedPrecondition(
+        StrCat("child id ", child, " already declared"));
+  }
+  children_.insert(it, {child, p});
+  return Status::Ok();
+}
+
+double IndependentOpf::Prob(const IdSet& child_set) const {
+  if (!child_set.IsSubsetOf(ChildUniverse())) return 0.0;
+  double p = 1.0;
+  for (const auto& [child, pi] : children_) {
+    p *= child_set.Contains(child) ? pi : (1.0 - pi);
+  }
+  return p;
+}
+
+std::vector<OpfEntry> IndependentOpf::Entries() const {
+  // Materialize all 2^n subsets in canonical order.
+  std::vector<OpfEntry> out;
+  out.push_back(OpfEntry{IdSet(), 1.0});
+  for (const auto& [child, pi] : children_) {
+    std::size_t n = out.size();
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(OpfEntry{out[i].child_set.With(child), out[i].prob * pi});
+      out[i].prob *= (1.0 - pi);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const OpfEntry& a, const OpfEntry& b) {
+    return a.child_set < b.child_set;
+  });
+  return out;
+}
+
+std::size_t IndependentOpf::NumEntries() const {
+  return static_cast<std::size_t>(1) << children_.size();
+}
+
+IdSet IndependentOpf::ChildUniverse() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(children_.size());
+  for (const auto& [child, p] : children_) ids.push_back(child);
+  return IdSet(std::move(ids));
+}
+
+double IndependentOpf::MarginalChildProb(ObjectId child) const {
+  for (const auto& [c, p] : children_) {
+    if (c == child) return p;
+  }
+  return 0.0;
+}
+
+IdSet IndependentOpf::SampleChildSet(Rng& rng) const {
+  std::vector<std::uint32_t> members;
+  for (const auto& [child, p] : children_) {
+    if (rng.NextBool(p)) members.push_back(child);
+  }
+  return IdSet(std::move(members));
+}
+
+std::unique_ptr<Opf> IndependentOpf::Remap(
+    const std::vector<ObjectId>& mapping,
+    const std::vector<LabelId>* /*label_mapping*/) const {
+  auto out = std::make_unique<IndependentOpf>();
+  for (const auto& [child, p] : children_) {
+    // Ignore failures: remapping preserves probabilities and uniqueness.
+    out->AddChild(mapping[child], p).ok();
+  }
+  return out;
+}
+
+Status IndependentOpf::Validate() const {
+  for (const auto& [child, p] : children_) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument(
+          StrCat("child ", child, " probability ", p, " outside [0,1]"));
+    }
+  }
+  return Status::Ok();
+}
+
+// -------------------------------------------------------- PerLabelProduct
+
+Status PerLabelProductOpf::AddLabelFactor(LabelId label, ExplicitOpf factor) {
+  IdSet universe = factor.ChildUniverse();
+  for (const Factor& f : factors_) {
+    if (f.label == label) {
+      return Status::FailedPrecondition(
+          StrCat("factor for label id ", label, " already present"));
+    }
+    if (!f.universe.Intersect(universe).empty()) {
+      return Status::FailedPrecondition(
+          "per-label factors must have disjoint child universes");
+    }
+  }
+  factors_.push_back(Factor{label, std::move(factor), std::move(universe)});
+  return Status::Ok();
+}
+
+double PerLabelProductOpf::Prob(const IdSet& child_set) const {
+  // c must decompose exactly into per-factor parts.
+  IdSet covered;
+  for (const Factor& f : factors_) covered = covered.Union(f.universe);
+  if (!child_set.IsSubsetOf(covered)) return 0.0;
+  double p = 1.0;
+  for (const Factor& f : factors_) {
+    p *= f.table.Prob(child_set.Intersect(f.universe));
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+std::vector<OpfEntry> PerLabelProductOpf::Entries() const {
+  std::vector<OpfEntry> out;
+  out.push_back(OpfEntry{IdSet(), 1.0});
+  for (const Factor& f : factors_) {
+    std::vector<OpfEntry> next;
+    std::vector<OpfEntry> rows = f.table.Entries();
+    next.reserve(out.size() * rows.size());
+    for (const OpfEntry& base : out) {
+      for (const OpfEntry& row : rows) {
+        next.push_back(OpfEntry{base.child_set.Union(row.child_set),
+                                base.prob * row.prob});
+      }
+    }
+    out = std::move(next);
+  }
+  std::sort(out.begin(), out.end(), [](const OpfEntry& a, const OpfEntry& b) {
+    return a.child_set < b.child_set;
+  });
+  return out;
+}
+
+std::size_t PerLabelProductOpf::NumEntries() const {
+  std::size_t n = 1;
+  for (const Factor& f : factors_) n *= f.table.NumEntries();
+  return n;
+}
+
+IdSet PerLabelProductOpf::ChildUniverse() const {
+  IdSet out;
+  for (const Factor& f : factors_) out = out.Union(f.universe);
+  return out;
+}
+
+double PerLabelProductOpf::MarginalChildProb(ObjectId child) const {
+  for (const Factor& f : factors_) {
+    if (f.universe.Contains(child)) return f.table.MarginalChildProb(child);
+  }
+  return 0.0;
+}
+
+std::unique_ptr<Opf> PerLabelProductOpf::Remap(
+    const std::vector<ObjectId>& mapping,
+    const std::vector<LabelId>* label_mapping) const {
+  auto out = std::make_unique<PerLabelProductOpf>();
+  for (const Factor& f : factors_) {
+    std::unique_ptr<Opf> remapped = f.table.Remap(mapping);
+    LabelId label =
+        label_mapping != nullptr ? (*label_mapping)[f.label] : f.label;
+    out->AddLabelFactor(label, *static_cast<ExplicitOpf*>(remapped.get()))
+        .ok();
+  }
+  return out;
+}
+
+Status PerLabelProductOpf::Validate() const {
+  for (const Factor& f : factors_) {
+    PXML_RETURN_IF_ERROR(f.table.Validate());
+  }
+  return Status::Ok();
+}
+
+}  // namespace pxml

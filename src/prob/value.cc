@@ -1,0 +1,56 @@
+#include "prob/value.h"
+
+#include <functional>
+#include <sstream>
+
+namespace pxml {
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kString:
+      return AsString();
+    case Kind::kInt:
+      return std::to_string(AsInt());
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case Kind::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "";
+}
+
+std::optional<int> Value::Compare(const Value& other) const {
+  if (kind() != other.kind()) return std::nullopt;
+  if (v_ < other.v_) return -1;
+  if (other.v_ < v_) return 1;
+  return 0;
+}
+
+std::size_t Value::Hash() const {
+  std::size_t seed = static_cast<std::size_t>(kind()) * 0x9E3779B97F4A7C15ull;
+  std::size_t h = 0;
+  switch (kind()) {
+    case Kind::kString:
+      h = std::hash<std::string>()(AsString());
+      break;
+    case Kind::kInt:
+      h = std::hash<std::int64_t>()(AsInt());
+      break;
+    case Kind::kDouble:
+      h = std::hash<double>()(AsDouble());
+      break;
+    case Kind::kBool:
+      h = std::hash<bool>()(AsBool());
+      break;
+  }
+  return seed ^ (h + 0x9E3779B9u + (seed << 6) + (seed >> 2));
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace pxml

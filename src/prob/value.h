@@ -1,0 +1,73 @@
+#ifndef PXML_PROB_VALUE_H_
+#define PXML_PROB_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace pxml {
+
+/// A typed atomic value stored at a leaf object of a semistructured
+/// instance (the range of the `val` map in Def 3.3). Leaf types T in the
+/// model have finite domains dom(τ(o)) of such values.
+///
+/// Value is a closed variant over the primitive kinds the model needs:
+/// strings (e.g. "VQDB", "Stanford"), integers, doubles and booleans.
+class Value {
+ public:
+  enum class Kind { kString = 0, kInt = 1, kDouble = 2, kBool = 3 };
+
+  /// Default: the empty string.
+  Value() : v_(std::string()) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+  explicit Value(std::int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(bool b) : v_(b) {}
+
+  Kind kind() const { return static_cast<Kind>(v_.index()); }
+
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+
+  /// Preconditions: the corresponding kind.
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  std::int64_t AsInt() const { return std::get<std::int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  bool AsBool() const { return std::get<bool>(v_); }
+
+  /// Unquoted display form ("VQDB", "42", "3.5", "true").
+  std::string ToString() const;
+
+  /// Three-way comparison against a value of the same kind: negative /
+  /// zero / positive; nullopt when the kinds differ (values of different
+  /// kinds are unordered — only ==/!= are meaningful across kinds).
+  std::optional<int> Compare(const Value& other) const;
+
+  /// Stable hash across kinds.
+  std::size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Total order (by kind, then value) for canonical VPF row ordering.
+  friend bool operator<(const Value& a, const Value& b) { return a.v_ < b.v_; }
+
+ private:
+  std::variant<std::string, std::int64_t, double, bool> v_;
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace pxml
+
+#endif  // PXML_PROB_VALUE_H_

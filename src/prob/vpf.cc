@@ -1,0 +1,79 @@
+#include "prob/vpf.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "prob/distribution.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+void Vpf::Set(Value value, double prob) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), value,
+                             [](const Entry& e, const Value& key) {
+                               return e.value < key;
+                             });
+  if (it != rows_.end() && it->value == value) {
+    it->prob = prob;
+  } else {
+    rows_.insert(it, Entry{std::move(value), prob});
+  }
+}
+
+double Vpf::Prob(const Value& value) const {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), value,
+                             [](const Entry& e, const Value& key) {
+                               return e.value < key;
+                             });
+  if (it != rows_.end() && it->value == value) return it->prob;
+  return 0.0;
+}
+
+Status Vpf::Validate(const Dictionary& dict, TypeId type) const {
+  std::vector<double> probs;
+  probs.reserve(rows_.size());
+  for (const Entry& e : rows_) {
+    if (!dict.DomainContains(type, e.value)) {
+      return Status::InvalidArgument(
+          StrCat("VPF value '", e.value.ToString(), "' not in dom(",
+                 dict.TypeName(type), ")"));
+    }
+    probs.push_back(e.prob);
+  }
+  return ValidateProbabilityVector(probs);
+}
+
+Status Vpf::Normalize() {
+  std::vector<double> probs;
+  probs.reserve(rows_.size());
+  for (const Entry& e : rows_) probs.push_back(e.prob);
+  PXML_RETURN_IF_ERROR(NormalizeInPlace(probs));
+  for (std::size_t i = 0; i < rows_.size(); ++i) rows_[i].prob = probs[i];
+  return Status::Ok();
+}
+
+Value Vpf::SampleValue(Rng& rng) const {
+  double u = rng.NextDouble();
+  double cum = 0.0;
+  for (const Entry& e : rows_) {
+    cum += e.prob;
+    if (u < cum) return e.value;
+  }
+  for (std::size_t i = rows_.size(); i-- > 0;) {
+    if (rows_[i].prob > 0.0) return rows_[i].value;
+  }
+  return Value();
+}
+
+std::string Vpf::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << rows_[i].value.ToString() << " -> " << rows_[i].prob;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace pxml

@@ -1,0 +1,54 @@
+#ifndef PXML_PROB_VPF_H_
+#define PXML_PROB_VPF_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/symbols.h"
+#include "prob/value.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// A value probability function (Def 3.9): a distribution over the finite
+/// domain dom(tau(o)) of a leaf object. Rows are kept in canonical (Value)
+/// order for determinism.
+class Vpf {
+ public:
+  struct Entry {
+    Value value;
+    double prob = 0.0;
+  };
+
+  Vpf() = default;
+
+  /// Sets P(value) = prob (overwrites).
+  void Set(Value value, double prob);
+
+  /// P(value); 0 if the value has no row.
+  double Prob(const Value& value) const;
+
+  const std::vector<Entry>& Entries() const { return rows_; }
+  std::size_t NumEntries() const { return rows_.size(); }
+
+  /// OK iff all probabilities lie in [0,1], the support sums to 1, and
+  /// every value lies in dom(type) of `dict`.
+  Status Validate(const Dictionary& dict, TypeId type) const;
+
+  /// Rescales rows to sum to 1. Fails on ~zero mass.
+  Status Normalize();
+
+  /// Draws a value from the distribution (CDF walk).
+  Value SampleValue(Rng& rng) const;
+
+  /// "{VQDB -> 0.6, Lore -> 0.4}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Entry> rows_;  // sorted by value
+};
+
+}  // namespace pxml
+
+#endif  // PXML_PROB_VPF_H_

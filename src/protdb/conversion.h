@@ -1,0 +1,33 @@
+#ifndef PXML_PROTDB_CONVERSION_H_
+#define PXML_PROTDB_CONVERSION_H_
+
+#include "core/probabilistic_instance.h"
+#include "protdb/protdb.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Which OPF representation the converted instance should use. ProTDB's
+/// independence assumption makes all three exactly equivalent in
+/// semantics; they differ in size and query cost (the E9 ablation).
+enum class OpfRepresentation {
+  /// Full 2^children tables (the paper's experimental setting).
+  kExplicit,
+  /// One probability per child (ProTDB's native form).
+  kIndependent,
+  /// Explicit tables per label, multiplied across labels.
+  kPerLabel,
+};
+
+/// Embeds a ProTDB document into the PXML model (the Section-8
+/// subsumption argument, constructively): every node becomes an object,
+/// per-parent OPFs encode the independent child probabilities, leaf
+/// values become point-mass VPFs whose type domains collect all values
+/// seen under the same type name. The resulting instance defines exactly
+/// the same distribution over trees as the ProTDB document.
+Result<ProbabilisticInstance> FromProtdb(const ProtdbDocument& doc,
+                                         OpfRepresentation representation);
+
+}  // namespace pxml
+
+#endif  // PXML_PROTDB_CONVERSION_H_

@@ -1,0 +1,76 @@
+#include "protdb/protdb.h"
+
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<ObjectId> ProtdbDocument::CreateRoot(std::string_view name) {
+  if (root_ != kInvalidId) {
+    return Status::FailedPrecondition("document already has a root");
+  }
+  ObjectId o = dict_.InternObject(name);
+  if (o != nodes_.size()) {
+    return Status::FailedPrecondition(
+        StrCat("node name '", name, "' already in use"));
+  }
+  nodes_.emplace_back();
+  root_ = o;
+  return o;
+}
+
+Result<ObjectId> ProtdbDocument::AddChild(ObjectId parent,
+                                          std::string_view label,
+                                          std::string_view name,
+                                          double prob) {
+  if (!Present(parent)) {
+    return Status::NotFound(StrCat("parent id ", parent, " unknown"));
+  }
+  if (!(prob >= 0.0 && prob <= 1.0)) {
+    return Status::InvalidArgument(
+        StrCat("existence probability ", prob, " outside [0,1]"));
+  }
+  ObjectId o = dict_.InternObject(name);
+  if (o != nodes_.size()) {
+    return Status::FailedPrecondition(
+        StrCat("node name '", name, "' already in use"));
+  }
+  nodes_.emplace_back();
+  nodes_[o].parent = parent;
+  nodes_[o].label = dict_.InternLabel(label);
+  nodes_[o].prob = prob;
+  nodes_[parent].children.push_back(o);
+  return o;
+}
+
+Status ProtdbDocument::SetLeafValue(ObjectId node, std::string_view type_name,
+                                    Value v) {
+  if (!Present(node)) {
+    return Status::NotFound(StrCat("node id ", node, " unknown"));
+  }
+  if (!nodes_[node].children.empty()) {
+    return Status::FailedPrecondition("values are only allowed on leaves");
+  }
+  nodes_[node].type_name = std::string(type_name);
+  nodes_[node].value = std::move(v);
+  return Status::Ok();
+}
+
+Result<double> ProtdbDocument::ConditionalProb(ObjectId node) const {
+  if (!Present(node)) {
+    return Status::NotFound(StrCat("node id ", node, " unknown"));
+  }
+  return nodes_[node].prob;
+}
+
+Result<double> ProtdbDocument::ExistenceProbability(ObjectId node) const {
+  if (!Present(node)) {
+    return Status::NotFound(StrCat("node id ", node, " unknown"));
+  }
+  double p = 1.0;
+  for (ObjectId cur = node; cur != kInvalidId; cur = nodes_[cur].parent) {
+    p *= nodes_[cur].prob;
+  }
+  return p;
+}
+
+}  // namespace pxml

@@ -1,0 +1,81 @@
+#ifndef PXML_PROTDB_PROTDB_H_
+#define PXML_PROTDB_PROTDB_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/symbols.h"
+#include "prob/value.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// A ProTDB-style probabilistic tree document (Nierman & Jagadish, VLDB
+/// 2002) — the baseline of the paper's Section 8. Each node carries an
+/// *independent* existence probability conditioned on its parent's
+/// existence; dependencies are tree-structured by construction. PXML
+/// strictly subsumes this model (see FromProtdb in conversion.h).
+class ProtdbDocument {
+ public:
+  ProtdbDocument() = default;
+
+  const Dictionary& dict() const { return dict_; }
+
+  /// Creates the root (existence probability 1). Must be called first,
+  /// exactly once.
+  Result<ObjectId> CreateRoot(std::string_view name);
+
+  /// Adds a child with tag `label` and conditional existence probability
+  /// `prob` in [0,1].
+  Result<ObjectId> AddChild(ObjectId parent, std::string_view label,
+                            std::string_view name, double prob);
+
+  /// Assigns a (deterministic) typed value to a leaf node.
+  Status SetLeafValue(ObjectId node, std::string_view type_name, Value v);
+
+  ObjectId root() const { return root_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  bool Present(ObjectId o) const { return o < nodes_.size(); }
+
+  /// The node's conditional existence probability.
+  Result<double> ConditionalProb(ObjectId node) const;
+
+  /// P(node exists) — the product of conditional probabilities along its
+  /// ancestor chain (ProTDB's independence semantics).
+  Result<double> ExistenceProbability(ObjectId node) const;
+
+  /// Children of a node.
+  const std::vector<ObjectId>& ChildrenOf(ObjectId node) const {
+    return nodes_[node].children;
+  }
+  /// The node's tag (label id into dict()).
+  LabelId LabelOf(ObjectId node) const { return nodes_[node].label; }
+  ObjectId ParentOf(ObjectId node) const { return nodes_[node].parent; }
+
+  std::optional<std::string> TypeNameOf(ObjectId node) const {
+    return nodes_[node].type_name;
+  }
+  std::optional<Value> ValueOf(ObjectId node) const {
+    return nodes_[node].value;
+  }
+
+ private:
+  struct Node {
+    ObjectId parent = kInvalidId;
+    LabelId label = kInvalidId;  // tag of the edge from the parent
+    double prob = 1.0;
+    std::vector<ObjectId> children;
+    std::optional<std::string> type_name;
+    std::optional<Value> value;
+  };
+
+  Dictionary dict_;
+  std::vector<Node> nodes_;  // indexed by ObjectId (dense, intern order)
+  ObjectId root_ = kInvalidId;
+};
+
+}  // namespace pxml
+
+#endif  // PXML_PROTDB_PROTDB_H_

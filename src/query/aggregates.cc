@@ -1,0 +1,95 @@
+#include "query/aggregates.h"
+
+#include "core/semantics.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// out = convolution of a and b.
+std::vector<double> Convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> CountDistribution(
+    const ProbabilisticInstance& instance, const PathExpression& path) {
+  const WeakInstance& weak = instance.weak();
+  PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+  if (path.start != weak.root()) {
+    return Status::InvalidArgument(
+        "count distributions start at the root");
+  }
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(weak, path));
+  const std::size_t n = path.labels.size();
+  if (n == 0) return std::vector<double>{0.0, 1.0};  // the root itself
+  if (layers.back().empty()) return std::vector<double>{1.0};
+
+  // dist[o] = distribution of surviving-target counts in o's subtree,
+  // given o exists.
+  std::vector<std::vector<double>> dist(weak.dict().num_objects());
+  for (ObjectId o : layers[n]) dist[o] = {0.0, 1.0};  // exactly itself
+
+  for (std::size_t level = n; level-- > 0;) {
+    const LabelId l = path.labels[level];
+    for (ObjectId o : layers[level]) {
+      const IdSet retained = weak.Lch(o, l).Intersect(layers[level + 1]);
+      const Opf* opf = instance.GetOpf(o);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("non-leaf '", weak.dict().ObjectName(o),
+                   "' has no OPF"));
+      }
+      std::vector<double> acc{0.0};  // grows as rows contribute
+      for (const OpfEntry& row : opf->Entries()) {
+        if (row.prob <= 0.0) continue;
+        std::vector<double> row_dist{1.0};
+        for (ObjectId c : row.child_set.Intersect(retained)) {
+          row_dist = Convolve(row_dist, dist[c]);
+        }
+        if (row_dist.size() > acc.size()) acc.resize(row_dist.size(), 0.0);
+        for (std::size_t k = 0; k < row_dist.size(); ++k) {
+          acc[k] += row.prob * row_dist[k];
+        }
+      }
+      dist[o] = std::move(acc);
+    }
+  }
+  return dist[weak.root()];
+}
+
+Result<std::vector<double>> CountDistributionViaWorlds(
+    const ProbabilisticInstance& instance, const PathExpression& path) {
+  PXML_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                        EnumerateWorlds(instance));
+  std::vector<double> out{0.0};
+  for (const World& w : worlds) {
+    if (!w.instance.Present(path.start)) continue;
+    PXML_ASSIGN_OR_RETURN(IdSet matched, EvaluatePath(w.instance, path));
+    std::size_t k = matched.size();
+    if (k + 1 > out.size()) out.resize(k + 1, 0.0);
+    out[k] += w.prob;
+  }
+  return out;
+}
+
+double ExpectedCount(const std::vector<double>& distribution) {
+  double e = 0.0;
+  for (std::size_t k = 1; k < distribution.size(); ++k) {
+    e += static_cast<double>(k) * distribution[k];
+  }
+  return e;
+}
+
+}  // namespace pxml

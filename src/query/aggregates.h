@@ -1,0 +1,35 @@
+#ifndef PXML_QUERY_AGGREGATES_H_
+#define PXML_QUERY_AGGREGATES_H_
+
+#include <vector>
+
+#include "core/probabilistic_instance.h"
+#include "graph/path.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// The distribution of the number of objects satisfying a path
+/// expression: result[k] = P(exactly k objects are in p), for
+/// k = 0 .. (number of potential matches).
+///
+/// Computed in one bottom-up pass over the path ancestors of a
+/// tree-shaped instance: each object carries the distribution of
+/// surviving targets in its subtree (given it exists); a parent's
+/// distribution is the OPF-weighted convolution of its retained
+/// children's (subtrees are disjoint in a tree, so their counts are
+/// independent given the child set). Generalizes the ε-propagation of
+/// §6.2 — ε_o is exactly 1 - D_o[0].
+Result<std::vector<double>> CountDistribution(
+    const ProbabilisticInstance& instance, const PathExpression& path);
+
+/// Oracle by world enumeration (exponential; tests and ablations).
+Result<std::vector<double>> CountDistributionViaWorlds(
+    const ProbabilisticInstance& instance, const PathExpression& path);
+
+/// E[#matches] of a count distribution.
+double ExpectedCount(const std::vector<double>& distribution);
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_AGGREGATES_H_

@@ -1,0 +1,71 @@
+#include "query/epsilon.h"
+
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<double> EpsilonPropagator::RootEpsilon(
+    const PathExpression& path, const std::vector<ObjectId>& targets,
+    const std::vector<double>& target_eps) const {
+  if (targets.size() != target_eps.size()) {
+    return Status::InvalidArgument(
+        "targets and target_eps must be parallel");
+  }
+  const WeakInstance& weak = instance_.weak();
+  PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+  if (path.start != weak.root()) {
+    return Status::InvalidArgument(
+        "epsilon propagation paths must start at the root");
+  }
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(weak, path));
+  const std::size_t n = path.labels.size();
+
+  std::vector<double> eps(weak.dict().num_objects(), 0.0);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (!layers[n].Contains(targets[i])) {
+      return Status::InvalidArgument(
+          StrCat("target id ", targets[i],
+                 " does not satisfy the path expression"));
+    }
+    eps[targets[i]] = target_eps[i];
+  }
+  if (n == 0) return eps[weak.root()];
+
+  for (std::size_t level = n; level-- > 0;) {
+    const LabelId l = path.labels[level];
+    for (ObjectId o : layers[level]) {
+      const IdSet retained = weak.Lch(o, l).Intersect(layers[level + 1]);
+      const Opf* opf = instance_.GetOpf(o);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("non-leaf '", weak.dict().ObjectName(o),
+                   "' has no OPF"));
+      }
+      double e = 0.0;
+      if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
+        // §3.2 structure exploitation: with independent children,
+        // ε_o = 1 - Π_{j ∈ R} (1 - p_j ε_j) in O(|children|) instead of
+        // O(2^|children|) table rows.
+        double none = 1.0;
+        for (const auto& [child, p] : ind->children()) {
+          if (retained.Contains(child)) none *= 1.0 - p * eps[child];
+        }
+        e = 1.0 - none;
+      } else {
+        for (const OpfEntry& row : opf->Entries()) {
+          if (row.prob <= 0.0) continue;
+          double none = 1.0;
+          for (ObjectId j : row.child_set.Intersect(retained)) {
+            none *= 1.0 - eps[j];
+          }
+          e += row.prob * (1.0 - none);
+        }
+      }
+      eps[o] = e;
+    }
+  }
+  return eps[weak.root()];
+}
+
+}  // namespace pxml

@@ -1,0 +1,44 @@
+#ifndef PXML_QUERY_EPSILON_H_
+#define PXML_QUERY_EPSILON_H_
+
+#include <vector>
+
+#include "core/probabilistic_instance.h"
+#include "graph/path.h"
+#include "prob/value.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// The ε-propagation engine of Section 6.2. For a tree-shaped
+/// probabilistic instance, a path expression p, and per-target "survival"
+/// probabilities, it computes bottom-up for every object o on a potential
+/// match of p
+///
+///   ε_o = P(the subtree of o contains a surviving target | o exists)
+///       = Σ_c ℘(o)(c) · (1 − Π_{j ∈ c ∩ R(o)} (1 − ε_j))
+///
+/// (children survive independently in a tree), and returns ε_root.
+///
+/// `target_eps(o)` supplies the base case for objects satisfying p:
+/// 1.0 for plain existence, VPF(v) for value queries.
+class EpsilonPropagator {
+ public:
+  explicit EpsilonPropagator(const ProbabilisticInstance& instance)
+      : instance_(instance) {}
+
+  /// ε_root for the given path, with target survival probabilities from
+  /// `target_eps` (parallel to `targets`). Targets must all lie in the
+  /// path's final pruned layer; other final-layer objects are treated as
+  /// non-matching (ε = 0). Requires a tree-shaped weak instance.
+  Result<double> RootEpsilon(const PathExpression& path,
+                             const std::vector<ObjectId>& targets,
+                             const std::vector<double>& target_eps) const;
+
+ private:
+  const ProbabilisticInstance& instance_;
+};
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_EPSILON_H_

@@ -1,0 +1,86 @@
+#ifndef PXML_QUERY_PARSER_H_
+#define PXML_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "algebra/selection_global.h"
+#include "core/probabilistic_instance.h"
+#include "graph/path.h"
+#include "prob/value.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Parses "R.book.author" against `dict`: the first component must name
+/// an existing object, the rest existing labels.
+Result<PathExpression> ParsePathExpression(const Dictionary& dict,
+                                           std::string_view text);
+
+/// Parses a value literal: double-quoted strings, "true"/"false",
+/// integers, doubles; anything else is taken as a bare string.
+Value ParseValueLiteral(std::string_view text);
+
+/// Parses a selection condition: `R.book = B1` (object condition) or
+/// `val(R.book.title) = "VQDB"` (value condition).
+Result<SelectionCondition> ParseSelectionCondition(const Dictionary& dict,
+                                                   std::string_view text);
+
+/// A parsed query of the small PXML query language:
+///
+///   project <path>                    — ancestor projection (Λ)
+///   project descendant <path>         — descendant projection
+///   project single <path>             — single projection
+///   select <condition>                — selection (σ)
+///   prob <path> = <object>            — point query P(o ∈ p)
+///   prob exists <path>                — P(∃ o ∈ p)
+///   prob val(<path>) <op> <value>     — P(∃ o ∈ p with val op v),
+///                                       op ∈ {=, !=, <, <=, >, >=}
+///   prob count(<path>, <label>) in [lo,hi]   (or <op> k)
+///                                     — P(∃ o ∈ p with an l-child count
+///                                       in the interval)
+///   dist <path>                       — the distribution of the number
+///                                       of objects satisfying p
+///
+/// Conditions accepted by `select` are the same ones accepted after
+/// `prob`, minus `exists`.
+struct Query {
+  enum class Kind {
+    kAncestorProject,
+    kDescendantProject,
+    kSingleProject,
+    kSelect,
+    kPointProbability,
+    kExistsProbability,
+    kValueProbability,
+    kCountProbability,
+    kCountDistribution,
+  };
+  Kind kind = Kind::kAncestorProject;
+  PathExpression path;
+  ObjectId object = kInvalidId;  // kPointProbability
+  Value value;                   // kValueProbability
+  SelectionCondition condition;  // kSelect and all probability kinds
+
+  std::string ToString(const Dictionary& dict) const;
+};
+
+Result<Query> ParseQuery(const Dictionary& dict, std::string_view text);
+
+/// The result of executing a query: either a new probabilistic instance
+/// (projection, selection) or a probability (point queries).
+struct QueryOutput {
+  std::optional<ProbabilisticInstance> instance;
+  std::optional<double> probability;
+  /// distribution[k] = P(k objects match), for `dist` queries.
+  std::optional<std::vector<double>> distribution;
+};
+
+/// Executes a parsed query using the efficient Section-6 algorithms.
+Result<QueryOutput> ExecuteQuery(const ProbabilisticInstance& instance,
+                                 const Query& query);
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_PARSER_H_

@@ -1,0 +1,145 @@
+#include "query/point_queries.h"
+
+#include "algebra/selection_global.h"
+#include "core/semantics.h"
+#include "query/epsilon.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<double> PointQuery(const ProbabilisticInstance& instance,
+                          const PathExpression& path, ObjectId object) {
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(instance.weak(), path));
+  if (!layers.back().Contains(object)) return 0.0;
+  EpsilonPropagator prop(instance);
+  return prop.RootEpsilon(path, {object}, {1.0});
+}
+
+Result<double> ExistsQuery(const ProbabilisticInstance& instance,
+                           const PathExpression& path) {
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(instance.weak(), path));
+  std::vector<ObjectId> targets(layers.back().begin(), layers.back().end());
+  if (targets.empty()) return 0.0;
+  EpsilonPropagator prop(instance);
+  return prop.RootEpsilon(path, targets,
+                          std::vector<double>(targets.size(), 1.0));
+}
+
+Result<double> ValueQuery(const ProbabilisticInstance& instance,
+                          const PathExpression& path, const Value& value) {
+  return ConditionProbability(
+      instance, SelectionCondition::ValueEquals(path, value));
+}
+
+Result<double> ConditionProbability(const ProbabilisticInstance& instance,
+                                    const SelectionCondition& condition) {
+  if (condition.kind == SelectionCondition::Kind::kObject) {
+    return PointQuery(instance, condition.path, condition.object);
+  }
+  const WeakInstance& weak = instance.weak();
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(weak, condition.path));
+  std::vector<ObjectId> targets;
+  std::vector<double> eps;
+  for (ObjectId o : layers.back()) {
+    // The target's "survival" probability is the chance it satisfies the
+    // condition locally, given it exists.
+    double e = 0.0;
+    if (condition.kind == SelectionCondition::Kind::kValue) {
+      if (!weak.IsLeaf(o)) continue;
+      const Vpf* vpf = instance.GetVpf(o);
+      if (vpf == nullptr) continue;
+      for (const Vpf::Entry& entry : vpf->Entries()) {
+        if (EvalValueOp(entry.value, condition.value_op, condition.value)) {
+          e += entry.prob;
+        }
+      }
+    } else {  // kCardinality
+      if (weak.IsLeaf(o)) {
+        e = condition.count_range.Contains(0) ? 1.0 : 0.0;
+      } else {
+        const Opf* opf = instance.GetOpf(o);
+        if (opf == nullptr) {
+          return Status::FailedPrecondition(
+              StrCat("non-leaf '", weak.dict().ObjectName(o),
+                     "' has no OPF"));
+        }
+        const IdSet& lch = weak.Lch(o, condition.count_label);
+        for (const OpfEntry& row : opf->Entries()) {
+          std::uint32_t k = static_cast<std::uint32_t>(
+              row.child_set.Intersect(lch).size());
+          if (condition.count_range.Contains(k)) e += row.prob;
+        }
+      }
+    }
+    targets.push_back(o);
+    eps.push_back(e);
+  }
+  if (targets.empty()) return 0.0;
+  EpsilonPropagator prop(instance);
+  return prop.RootEpsilon(condition.path, targets, eps);
+}
+
+Result<double> ChainProbability(const ProbabilisticInstance& instance,
+                                const std::vector<ObjectId>& chain) {
+  const WeakInstance& weak = instance.weak();
+  if (chain.empty() || chain.front() != weak.root()) {
+    return Status::InvalidArgument("chain must start at the root");
+  }
+  double p = 1.0;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const Opf* opf = instance.GetOpf(chain[i]);
+    if (opf == nullptr) {
+      return Status::FailedPrecondition(
+          StrCat("non-leaf '", weak.dict().ObjectName(chain[i]),
+                 "' has no OPF"));
+    }
+    p *= opf->MarginalChildProb(chain[i + 1]);
+    if (p == 0.0) return 0.0;
+  }
+  return p;
+}
+
+Result<double> ConditionProbabilityViaWorlds(
+    const ProbabilisticInstance& instance,
+    const SelectionCondition& condition) {
+  PXML_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                        EnumerateWorlds(instance));
+  double p = 0.0;
+  for (const World& w : worlds) {
+    PXML_ASSIGN_OR_RETURN(bool sat, InstanceSatisfies(w.instance, condition));
+    if (sat) p += w.prob;
+  }
+  return p;
+}
+
+Result<double> PointQueryViaWorlds(const ProbabilisticInstance& instance,
+                                   const PathExpression& path,
+                                   ObjectId object) {
+  return ConditionProbabilityViaWorlds(
+      instance, SelectionCondition::ObjectEquals(path, object));
+}
+
+Result<double> ExistsQueryViaWorlds(const ProbabilisticInstance& instance,
+                                    const PathExpression& path) {
+  PXML_ASSIGN_OR_RETURN(std::vector<World> worlds,
+                        EnumerateWorlds(instance));
+  double p = 0.0;
+  for (const World& w : worlds) {
+    if (!w.instance.Present(path.start)) continue;
+    PXML_ASSIGN_OR_RETURN(IdSet reached, EvaluatePath(w.instance, path));
+    if (!reached.empty()) p += w.prob;
+  }
+  return p;
+}
+
+Result<double> ValueQueryViaWorlds(const ProbabilisticInstance& instance,
+                                   const PathExpression& path,
+                                   const Value& value) {
+  return ConditionProbabilityViaWorlds(
+      instance, SelectionCondition::ValueEquals(path, value));
+}
+
+}  // namespace pxml

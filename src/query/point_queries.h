@@ -1,0 +1,62 @@
+#ifndef PXML_QUERY_POINT_QUERIES_H_
+#define PXML_QUERY_POINT_QUERIES_H_
+
+#include <vector>
+
+#include "algebra/selection_global.h"
+#include "core/probabilistic_instance.h"
+#include "graph/path.h"
+#include "prob/value.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Probabilistic point queries (Section 6.2). All efficient variants
+/// require a tree-shaped weak instance and run one ε-propagation pass
+/// over the path ancestors; the *ViaWorlds variants are the exponential
+/// possible-worlds oracles used for testing and for the global-vs-local
+/// ablation benchmark.
+
+/// P(o ∈ p): the probability that object o satisfies path expression p in
+/// a random compatible world (Def 6.1). Zero if o cannot match p.
+Result<double> PointQuery(const ProbabilisticInstance& instance,
+                          const PathExpression& path, ObjectId object);
+
+/// P(∃ o: o ∈ p): some object satisfies p.
+Result<double> ExistsQuery(const ProbabilisticInstance& instance,
+                           const PathExpression& path);
+
+/// P(∃ o ∈ p with val(o) = v): some leaf reached by p carries value v.
+Result<double> ValueQuery(const ProbabilisticInstance& instance,
+                          const PathExpression& path, const Value& value);
+
+/// P(some object at the end of `condition.path` satisfies the condition)
+/// — the ε-propagation point query generalized to every condition kind:
+/// object (= PointQuery), value with any comparison operator, and
+/// cardinality. This is also the normalization constant of the matching
+/// selection (Def 5.6).
+Result<double> ConditionProbability(const ProbabilisticInstance& instance,
+                                    const SelectionCondition& condition);
+
+/// The probability of a simple object chain r.o_1...o_k (Section 6.2's
+/// warm-up): every listed object is a child of its predecessor. The chain
+/// must start at the root.
+Result<double> ChainProbability(const ProbabilisticInstance& instance,
+                                const std::vector<ObjectId>& chain);
+
+/// Oracle versions by world enumeration.
+Result<double> ConditionProbabilityViaWorlds(
+    const ProbabilisticInstance& instance,
+    const SelectionCondition& condition);
+Result<double> PointQueryViaWorlds(const ProbabilisticInstance& instance,
+                                   const PathExpression& path,
+                                   ObjectId object);
+Result<double> ExistsQueryViaWorlds(const ProbabilisticInstance& instance,
+                                    const PathExpression& path);
+Result<double> ValueQueryViaWorlds(const ProbabilisticInstance& instance,
+                                   const PathExpression& path,
+                                   const Value& value);
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_POINT_QUERIES_H_

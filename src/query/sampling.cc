@@ -1,0 +1,79 @@
+#include "query/sampling.h"
+
+#include "graph/algorithms.h"
+#include "util/strings.h"
+
+namespace pxml {
+
+Result<SemistructuredInstance> SampleWorld(
+    const ProbabilisticInstance& instance, Rng& rng) {
+  const WeakInstance& weak = instance.weak();
+  if (!weak.HasRoot()) {
+    return Status::FailedPrecondition("weak instance has no root");
+  }
+  PXML_ASSIGN_OR_RETURN(SemistructuredInstance graph,
+                        WeakInstanceGraph(weak));
+  PXML_ASSIGN_OR_RETURN(std::vector<ObjectId> order,
+                        TopologicalOrder(graph));
+
+  SemistructuredInstance world;
+  world.SetDictionary(weak.dict());
+  std::vector<char> included(weak.dict().num_objects(), 0);
+  included[weak.root()] = 1;
+  PXML_RETURN_IF_ERROR(world.AddObjectById(weak.root()));
+  PXML_RETURN_IF_ERROR(world.SetRoot(weak.root()));
+
+  for (ObjectId o : order) {
+    if (!included[o]) continue;
+    if (!weak.IsLeaf(o)) {
+      const Opf* opf = instance.GetOpf(o);
+      if (opf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("non-leaf '", weak.dict().ObjectName(o),
+                   "' has no OPF"));
+      }
+      IdSet children = opf->SampleChildSet(rng);
+      for (ObjectId c : children) {
+        auto label = weak.ChildLabel(o, c);
+        if (!label.has_value()) {
+          return Status::FailedPrecondition(
+              StrCat("sampled child id ", c, " is not in lch of '",
+                     weak.dict().ObjectName(o), "'"));
+        }
+        if (!included[c]) {
+          included[c] = 1;
+          PXML_RETURN_IF_ERROR(world.AddObjectById(c));
+        }
+        PXML_RETURN_IF_ERROR(world.AddEdge(o, *label, c));
+      }
+    } else if (weak.TypeOf(o).has_value()) {
+      const Vpf* vpf = instance.GetVpf(o);
+      if (vpf == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("leaf '", weak.dict().ObjectName(o), "' has no VPF"));
+      }
+      PXML_RETURN_IF_ERROR(
+          world.SetLeafValue(o, *weak.TypeOf(o), vpf->SampleValue(rng)));
+    }
+  }
+  return world;
+}
+
+Result<double> EstimateConditionProbability(
+    const ProbabilisticInstance& instance,
+    const SelectionCondition& condition, std::size_t num_samples,
+    Rng& rng) {
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    PXML_ASSIGN_OR_RETURN(SemistructuredInstance world,
+                          SampleWorld(instance, rng));
+    PXML_ASSIGN_OR_RETURN(bool sat, InstanceSatisfies(world, condition));
+    if (sat) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_samples);
+}
+
+}  // namespace pxml

@@ -1,0 +1,28 @@
+#ifndef PXML_QUERY_SAMPLING_H_
+#define PXML_QUERY_SAMPLING_H_
+
+#include "algebra/selection_global.h"
+#include "core/probabilistic_instance.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Draws one compatible world from P_℘ by forward (ancestral) sampling in
+/// topological order of the weak instance graph — works on DAGs, where
+/// the exact tree algorithms do not apply. The world is exact: its
+/// probability of being drawn equals WorldProbability().
+Result<SemistructuredInstance> SampleWorld(
+    const ProbabilisticInstance& instance, Rng& rng);
+
+/// A Monte-Carlo estimate of P(condition) from `num_samples` sampled
+/// worlds. Unbiased for any acyclic instance; standard error is about
+/// sqrt(p(1-p)/num_samples). The practical fallback for DAG-shaped
+/// instances too large to enumerate.
+Result<double> EstimateConditionProbability(
+    const ProbabilisticInstance& instance,
+    const SelectionCondition& condition, std::size_t num_samples, Rng& rng);
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_SAMPLING_H_

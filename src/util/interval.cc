@@ -1,0 +1,23 @@
+#include "util/interval.h"
+
+#include <sstream>
+
+namespace pxml {
+
+std::string IntInterval::ToString() const {
+  std::ostringstream os;
+  os << '[' << min_ << ',';
+  if (max_ == kUnbounded) {
+    os << '*';
+  } else {
+    os << max_;
+  }
+  os << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntInterval& interval) {
+  return os << interval.ToString();
+}
+
+}  // namespace pxml

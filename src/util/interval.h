@@ -1,0 +1,59 @@
+#ifndef PXML_UTIL_INTERVAL_H_
+#define PXML_UTIL_INTERVAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace pxml {
+
+/// A closed integer interval [min, max] with 0 <= min <= max.
+///
+/// Used for cardinality constraints card(o, l) = [min, max] (Def 3.4.5 of
+/// the paper): the number of l-labeled children of o must lie in the
+/// interval. Construct via Make() to get validation; the default interval
+/// is the unconstrained [0, kUnbounded].
+class IntInterval {
+ public:
+  /// Sentinel upper bound meaning "no upper limit".
+  static constexpr std::uint32_t kUnbounded = 0xFFFFFFFFu;
+
+  /// Unconstrained interval [0, kUnbounded].
+  IntInterval() : min_(0), max_(kUnbounded) {}
+
+  /// [min, max]; callers must ensure min <= max (see Make for the checked
+  /// variant).
+  IntInterval(std::uint32_t min, std::uint32_t max) : min_(min), max_(max) {}
+
+  /// True iff min <= max (always holds for instances built via Make()).
+  bool valid() const { return min_ <= max_; }
+
+  std::uint32_t min() const { return min_; }
+  std::uint32_t max() const { return max_; }
+
+  /// True iff min <= n <= max.
+  bool Contains(std::uint32_t n) const { return min_ <= n && n <= max_; }
+
+  /// True iff this interval is exactly [0, kUnbounded].
+  bool IsUnconstrained() const { return min_ == 0 && max_ == kUnbounded; }
+
+  /// "[min,max]" (max printed as "*" when unbounded).
+  std::string ToString() const;
+
+  friend bool operator==(const IntInterval& a, const IntInterval& b) {
+    return a.min_ == b.min_ && a.max_ == b.max_;
+  }
+  friend bool operator!=(const IntInterval& a, const IntInterval& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::uint32_t min_;
+  std::uint32_t max_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntInterval& interval);
+
+}  // namespace pxml
+
+#endif  // PXML_UTIL_INTERVAL_H_

@@ -1,0 +1,54 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pxml {
+
+std::uint64_t Rng::NextU64() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Public-domain reference algorithm.
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::NextInRange(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return lo + NextBounded(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits scaled into [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<double> Rng::NextSimplex(std::size_t n) {
+  std::vector<double> out(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Exponential variate; clamp the uniform away from 0 so log is finite.
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    out[i] = -std::log(u);
+    sum += out[i];
+  }
+  for (double& x : out) x /= sum;
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ull); }
+
+}  // namespace pxml

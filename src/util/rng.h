@@ -1,0 +1,46 @@
+#ifndef PXML_UTIL_RNG_H_
+#define PXML_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pxml {
+
+/// Deterministic pseudo-random number generator (SplitMix64 core).
+///
+/// All randomness in the library (workload generation, random OPF tables,
+/// query sampling) flows through a seeded Rng so experiments are exactly
+/// reproducible. SplitMix64 is tiny, fast, and has no global state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform integer in [0, bound) ; bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// A random probability vector of length n (positive entries summing
+  /// to 1) drawn by normalizing exponential variates (uniform Dirichlet).
+  std::vector<double> NextSimplex(std::size_t n);
+
+  /// Forks an independent stream (for parallel-safe sub-generators).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pxml
+
+#endif  // PXML_UTIL_RNG_H_

@@ -1,0 +1,72 @@
+#ifndef PXML_WORKLOAD_GENERATOR_H_
+#define PXML_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "core/probabilistic_instance.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// How edge labels are assigned in generated trees (§7.1):
+///  * kSameLabels ("SL"): all children of one parent share a single label
+///    drawn from the level's alphabet;
+///  * kFullyRandom ("FR"): each child independently draws its own label.
+enum class LabelingScheme { kSameLabels, kFullyRandom };
+
+/// Configuration for the paper's synthetic workload: balanced trees where
+/// every non-leaf has exactly `branching` children, no cardinality
+/// constraints, and a random OPF over all 2^branching child subsets.
+struct GeneratorConfig {
+  /// Tree depth: root at depth 0, leaves at depth `depth`. Paper: 3–9.
+  std::uint32_t depth = 3;
+  /// Children per non-leaf. Paper: 2–8.
+  std::uint32_t branching = 2;
+  LabelingScheme labeling = LabelingScheme::kSameLabels;
+  /// Size of the label alphabet available at each level.
+  std::uint32_t labels_per_level = 2;
+  /// RNG seed; equal seeds give identical instances.
+  std::uint64_t seed = 42;
+  /// If true, leaves get a type with `leaf_domain_size` string values and
+  /// a random VPF (off in the paper's experiments, useful for tests).
+  bool with_leaf_values = false;
+  std::uint32_t leaf_domain_size = 2;
+};
+
+/// Number of objects in a balanced tree of the given shape.
+std::size_t BalancedTreeObjectCount(std::uint32_t depth,
+                                    std::uint32_t branching);
+
+/// Generates the §7.1 workload instance. The total number of OPF entries
+/// is (#non-leaves) · 2^branching.
+Result<ProbabilisticInstance> GenerateBalancedTree(
+    const GeneratorConfig& config);
+
+/// Configuration for random *DAG-shaped* instances (objects may have
+/// several potential parents — the shape of the paper's own Figure 2,
+/// outside the reach of the tree-only Section-6 algorithms). Used to
+/// exercise the possible-worlds, Bayesian-network and sampling routes.
+struct DagConfig {
+  /// Objects including the root. Keep small if you intend to enumerate.
+  std::uint32_t num_objects = 9;
+  std::uint32_t num_labels = 2;
+  /// Probability that object j is offered as a potential child of an
+  /// earlier object i (subject to the per-label cap).
+  double edge_density = 0.35;
+  /// Max lch(o, l) size per (object, label).
+  std::uint32_t max_children_per_label = 2;
+  std::uint64_t seed = 42;
+  /// Attach a typed value domain + random VPF to every leaf.
+  bool with_leaf_values = false;
+  std::uint32_t leaf_domain_size = 2;
+};
+
+/// Generates a random acyclic instance: edges go from lower to higher
+/// object indices, every non-root object gets at least one potential
+/// parent, cardinalities are random satisfiable intervals, and each
+/// non-leaf gets a random explicit OPF over its full PC(o).
+Result<ProbabilisticInstance> GenerateRandomDag(const DagConfig& config);
+
+}  // namespace pxml
+
+#endif  // PXML_WORKLOAD_GENERATOR_H_

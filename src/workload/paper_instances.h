@@ -1,0 +1,22 @@
+#ifndef PXML_WORKLOAD_PAPER_INSTANCES_H_
+#define PXML_WORKLOAD_PAPER_INSTANCES_H_
+
+#include "core/probabilistic_instance.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// The probabilistic instance of the paper's Figure 2 (the bibliographic
+/// running example): objects R, B1–B3, T1, T2, A1–A3, I1, I2 with the
+/// figure's lch, card and OPF tables. The weak instance graph is a DAG
+/// (A1 and A2 share the potential institution I1).
+///
+/// T1 carries title-type with VPF {VQDB: 0.4, Lore: 0.6} — the unique
+/// value making Example 4.1's P(S1) = 0.00448 come out. With
+/// `fully_typed`, T2/I1/I2 also get types and VPFs (title-type and
+/// institution-type over {Stanford, UMD}).
+Result<ProbabilisticInstance> MakeFigure2Instance(bool fully_typed = false);
+
+}  // namespace pxml
+
+#endif  // PXML_WORKLOAD_PAPER_INSTANCES_H_

@@ -1,0 +1,91 @@
+#include "workload/query_generator.h"
+
+#include <deque>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// The labels used on edges from objects at each depth (depth d entry:
+/// labels on edges from depth-d parents to depth-(d+1) children).
+Result<std::vector<std::vector<LabelId>>> LabelsByDepth(
+    const WeakInstance& weak) {
+  if (!weak.HasRoot()) {
+    return Status::FailedPrecondition("instance has no root");
+  }
+  std::vector<std::vector<LabelId>> by_depth;
+  std::vector<std::vector<bool>> seen;
+  struct Item {
+    ObjectId object;
+    std::uint32_t depth;
+  };
+  std::deque<Item> queue{{weak.root(), 0}};
+  std::vector<bool> visited(weak.dict().num_objects(), false);
+  visited[weak.root()] = true;
+  while (!queue.empty()) {
+    Item cur = queue.front();
+    queue.pop_front();
+    for (LabelId l : weak.LabelsOf(cur.object)) {
+      if (cur.depth >= by_depth.size()) {
+        by_depth.resize(cur.depth + 1);
+        seen.resize(cur.depth + 1);
+      }
+      if (seen[cur.depth].size() < weak.dict().num_labels()) {
+        seen[cur.depth].resize(weak.dict().num_labels(), false);
+      }
+      if (!seen[cur.depth][l]) {
+        seen[cur.depth][l] = true;
+        by_depth[cur.depth].push_back(l);
+      }
+      for (ObjectId c : weak.Lch(cur.object, l)) {
+        if (!visited[c]) {
+          visited[c] = true;
+          queue.push_back(Item{c, cur.depth + 1});
+        }
+      }
+    }
+  }
+  return by_depth;
+}
+
+}  // namespace
+
+Result<PathExpression> GenerateAcceptedPath(
+    const ProbabilisticInstance& instance, Rng& rng,
+    std::size_t max_attempts) {
+  const WeakInstance& weak = instance.weak();
+  PXML_ASSIGN_OR_RETURN(std::vector<std::vector<LabelId>> labels,
+                        LabelsByDepth(weak));
+  if (labels.empty()) {
+    return Status::FailedPrecondition(
+        "instance has no edges to build a path from");
+  }
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    PathExpression path;
+    path.start = weak.root();
+    for (const std::vector<LabelId>& alphabet : labels) {
+      path.labels.push_back(alphabet[rng.NextBounded(alphabet.size())]);
+    }
+    PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                          PrunedWeakPathLayers(weak, path));
+    if (!layers.back().empty()) return path;
+  }
+  return Status::FailedPrecondition(
+      StrCat("no accepted path found in ", max_attempts, " attempts"));
+}
+
+Result<SelectionCondition> GenerateObjectSelection(
+    const ProbabilisticInstance& instance, Rng& rng,
+    std::size_t max_attempts) {
+  PXML_ASSIGN_OR_RETURN(PathExpression path,
+                        GenerateAcceptedPath(instance, rng, max_attempts));
+  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
+                        PrunedWeakPathLayers(instance.weak(), path));
+  const IdSet& candidates = layers.back();
+  ObjectId target = candidates[rng.NextBounded(candidates.size())];
+  return SelectionCondition::ObjectEquals(std::move(path), target);
+}
+
+}  // namespace pxml

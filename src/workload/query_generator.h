@@ -1,0 +1,31 @@
+#ifndef PXML_WORKLOAD_QUERY_GENERATOR_H_
+#define PXML_WORKLOAD_QUERY_GENERATOR_H_
+
+#include "algebra/selection_global.h"
+#include "core/probabilistic_instance.h"
+#include "graph/path.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Random query generation per §7.1: path expressions of length equal to
+/// the instance depth, with each label drawn from the labels actually
+/// used at that depth; a candidate is accepted only if it matches at
+/// least one object ("returned results not only consisting of a root").
+
+/// Generates an accepted path expression rooted at the instance root.
+/// Fails after `max_attempts` rejected candidates.
+Result<PathExpression> GenerateAcceptedPath(
+    const ProbabilisticInstance& instance, Rng& rng,
+    std::size_t max_attempts = 1000);
+
+/// Generates an accepted object-selection condition "p = o": p as above,
+/// o drawn uniformly from the objects satisfying p (§7.1's SelObj).
+Result<SelectionCondition> GenerateObjectSelection(
+    const ProbabilisticInstance& instance, Rng& rng,
+    std::size_t max_attempts = 1000);
+
+}  // namespace pxml
+
+#endif  // PXML_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,40 @@
+#ifndef PXML_XML_INTERVAL_IO_H_
+#define PXML_XML_INTERVAL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "interval/interval_model.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Serializes an interval instance to the textual IPXML format — the
+/// PXML format with an <ipxml> document element and lo/hi attributes in
+/// place of point probabilities:
+///
+///   <ipxml root="R">
+///    <types>...</types>
+///    <object id="R">
+///     <lch label="paper">P</lch>
+///     <iopf><row lo="0.6" hi="0.8">P</row><row lo="0.2" hi="0.4"></row>
+///     </iopf>
+///    </object>
+///    <object id="Y" type="t"><ivpf><val k="s" lo="0.1" hi="0.3">a</val>
+///    ...</ivpf></object>
+///   </ipxml>
+std::string SerializeIntervalPxml(const IntervalInstance& instance);
+
+/// SerializeIntervalPxml to a file.
+Status WriteIntervalPxmlFile(const IntervalInstance& instance,
+                             const std::string& path);
+
+/// Parses the IPXML format back; Serialize/Parse round-trips exactly.
+Result<IntervalInstance> ParseIntervalPxml(std::string_view text);
+
+/// ParseIntervalPxml on a file's contents.
+Result<IntervalInstance> ReadIntervalPxmlFile(const std::string& path);
+
+}  // namespace pxml
+
+#endif  // PXML_XML_INTERVAL_IO_H_

@@ -1,0 +1,22 @@
+#ifndef PXML_XML_PARSER_H_
+#define PXML_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/probabilistic_instance.h"
+#include "util/status.h"
+
+namespace pxml {
+
+/// Parses the textual PXML format produced by SerializePxml back into a
+/// probabilistic instance. Serialize/Parse round-trips exactly (same
+/// structure, same probabilities to %.17g, same OPF representations).
+Result<ProbabilisticInstance> ParsePxml(std::string_view text);
+
+/// ParsePxml on a file's contents.
+Result<ProbabilisticInstance> ReadPxmlFile(const std::string& path);
+
+}  // namespace pxml
+
+#endif  // PXML_XML_PARSER_H_

@@ -1,0 +1,49 @@
+#ifndef PXML_XML_XML_DOM_H_
+#define PXML_XML_XML_DOM_H_
+
+// Internal minimal XML DOM shared by the PXML and IPXML readers. Not part
+// of the public API (namespace xml_internal).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/symbols.h"
+#include "prob/value.h"
+#include "util/id_set.h"
+#include "util/status.h"
+
+namespace pxml {
+namespace xml_internal {
+
+/// One parsed element: name, attributes, children, concatenated text.
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<XmlNode> children;
+  std::string text;
+
+  const std::string* Attr(std::string_view key) const;
+};
+
+/// Parses a whole document (one root element, no prolog/comments).
+Result<XmlNode> ParseXmlDocument(std::string_view text);
+
+/// Reverses XmlEscape.
+std::string XmlUnescape(std::string_view text);
+
+/// Reads a typed value from an element with a one-letter `k` attribute
+/// (s/i/d/b) and the value in the text content.
+Result<Value> ParseTypedValue(const XmlNode& node);
+
+/// Parses a double attribute; fails if absent or malformed.
+Result<double> ParseDoubleAttr(const XmlNode& node, std::string_view key);
+
+/// Whitespace-separated object names in an element's text, resolved
+/// against the dictionary.
+Result<IdSet> ParseChildSet(const Dictionary& dict, const XmlNode& node);
+
+}  // namespace xml_internal
+}  // namespace pxml
+
+#endif  // PXML_XML_XML_DOM_H_

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "algebra/cartesian_product.h"
+#include "algebra/set_ops.h"
+#include "core/semantics.h"
+#include "fixtures.h"
+#include "world_testing.h"
+
+namespace pxml {
+namespace {
+
+using testing::MakeChainInstance;
+using testing::MakeSmallTreeInstance;
+using testing::WorldDistribution;
+
+PathExpression MakePath(const Dictionary& dict, ObjectId start,
+                        std::initializer_list<const char*> labels) {
+  PathExpression p;
+  p.start = start;
+  for (const char* l : labels) p.labels.push_back(*dict.FindLabel(l));
+  return p;
+}
+
+TEST(UnionWorldsTest, MixesWithWeight) {
+  ProbabilisticInstance inst = MakeSmallTreeInstance();
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  auto mixed = UnionWorlds(*worlds, *worlds, 0.25);
+  ASSERT_TRUE(mixed.ok());
+  // Self-union at any weight is the identity.
+  testing::ExpectSameDistribution(*mixed, *worlds);
+}
+
+TEST(UnionWorldsTest, WeightsApply) {
+  ProbabilisticInstance a = MakeChainInstance();
+  // Variant with a different root OPF.
+  ProbabilisticInstance b = MakeChainInstance();
+  {
+    ObjectId x = *b.dict().FindObject("x");
+    auto opf = std::make_unique<ExplicitOpf>();
+    opf->Set(IdSet{x}, 1.0);
+    ASSERT_TRUE(b.SetOpf(b.weak().root(), std::move(opf)).ok());
+  }
+  auto wa = EnumerateWorlds(a);
+  auto wb = EnumerateWorlds(b);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  auto mixed = UnionWorlds(*wa, *wb, 0.5);
+  ASSERT_TRUE(mixed.ok());
+  double total = 0;
+  for (const World& w : *mixed) total += w.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // P(x present) = 0.5*0.6 + 0.5*1.0.
+  double px = 0;
+  ObjectId x = *a.dict().FindObject("x");
+  for (const World& w : *mixed) {
+    if (w.instance.Present(x)) px += w.prob;
+  }
+  EXPECT_NEAR(px, 0.8, 1e-9);
+}
+
+TEST(UnionWorldsTest, RejectsBadAlpha) {
+  std::vector<World> empty;
+  EXPECT_FALSE(UnionWorlds(empty, empty, 1.5).ok());
+}
+
+TEST(IntersectWorldsTest, ProductOfExperts) {
+  ProbabilisticInstance a = MakeChainInstance();
+  ProbabilisticInstance b = MakeChainInstance();
+  {
+    // b doubles down on the chain existing.
+    ObjectId x = *b.dict().FindObject("x");
+    auto opf = std::make_unique<ExplicitOpf>();
+    opf->Set(IdSet{x}, 0.9);
+    opf->Set(IdSet(), 0.1);
+    ASSERT_TRUE(b.SetOpf(b.weak().root(), std::move(opf)).ok());
+  }
+  auto wa = EnumerateWorlds(a);
+  auto wb = EnumerateWorlds(b);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  auto inter = IntersectWorlds(*wa, *wb);
+  ASSERT_TRUE(inter.ok());
+  double total = 0;
+  for (const World& w : *inter) total += w.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Intersection up-weights worlds favored by both.
+  auto dist_a = WorldDistribution(*wa);
+  auto dist_i = WorldDistribution(*inter);
+  for (const auto& [fp, p] : dist_i) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_TRUE(dist_a.count(fp));
+  }
+}
+
+TEST(IntersectWorldsTest, DisjointSupportsFail) {
+  ProbabilisticInstance a = MakeChainInstance();
+  ProbabilisticInstance b = MakeChainInstance();
+  {
+    ObjectId x = *a.dict().FindObject("x");
+    auto opf = std::make_unique<ExplicitOpf>();
+    opf->Set(IdSet{x}, 1.0);  // chain always exists in a
+    ASSERT_TRUE(a.SetOpf(a.weak().root(), std::move(opf)).ok());
+  }
+  {
+    auto opf = std::make_unique<ExplicitOpf>();
+    opf->Set(IdSet(), 1.0);  // chain never exists in b
+    ASSERT_TRUE(b.SetOpf(b.weak().root(), std::move(opf)).ok());
+  }
+  auto wa = EnumerateWorlds(a);
+  auto wb = EnumerateWorlds(b);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  EXPECT_FALSE(IntersectWorlds(*wa, *wb).ok());
+}
+
+TEST(UnionInstancesTest, SelfUnionFactors) {
+  ProbabilisticInstance inst = MakeSmallTreeInstance();
+  auto merged = UnionInstances(inst, inst, 0.3);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  auto expected = EnumerateWorlds(inst);
+  ASSERT_TRUE(expected.ok());
+  testing::ExpectInstanceMatchesWorlds(*merged, *expected);
+}
+
+TEST(UnionInstancesTest, NonFactorableMixtureRejected) {
+  ProbabilisticInstance a = MakeSmallTreeInstance();
+  ProbabilisticInstance b = MakeSmallTreeInstance();
+  const Dictionary& dict = a.dict();
+  ObjectId x1 = *dict.FindObject("x1");
+  ObjectId y1 = *dict.FindObject("y1");
+  {
+    auto r_opf = std::make_unique<ExplicitOpf>();
+    r_opf->Set(IdSet{x1}, 1.0);
+    ASSERT_TRUE(a.SetOpf(a.weak().root(), std::move(r_opf)).ok());
+    auto x_opf = std::make_unique<ExplicitOpf>();
+    x_opf->Set(IdSet{y1}, 1.0);
+    ASSERT_TRUE(a.SetOpf(x1, std::move(x_opf)).ok());
+  }
+  {
+    ObjectId x2 = *dict.FindObject("x2");
+    auto r_opf = std::make_unique<ExplicitOpf>();
+    r_opf->Set(IdSet{x1, x2}, 1.0);
+    ASSERT_TRUE(b.SetOpf(b.weak().root(), std::move(r_opf)).ok());
+    auto x_opf = std::make_unique<ExplicitOpf>();
+    x_opf->Set(IdSet(), 1.0);
+    ASSERT_TRUE(b.SetOpf(x1, std::move(x_opf)).ok());
+  }
+  Status s = UnionInstances(a, b, 0.5).status();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JoinWorldsTest, EqualsSelectOverProduct) {
+  ProbabilisticInstance left = MakeChainInstance();
+  auto right = RenameObjects(left, {{"r", "r2"}, {"x", "x2"}, {"y", "y2"}});
+  ASSERT_TRUE(right.ok());
+  auto lw = EnumerateWorlds(left);
+  auto rw = EnumerateWorlds(*right);
+  ASSERT_TRUE(lw.ok());
+  ASSERT_TRUE(rw.ok());
+
+  // Build the merged dictionary via the instance-level product so the
+  // condition can reference merged ids.
+  auto product_inst = CartesianProduct(left, *right, "root");
+  ASSERT_TRUE(product_inst.ok());
+  const Dictionary& dict = product_inst->dict();
+  SelectionCondition cond = SelectionCondition::ObjectEquals(
+      MakePath(dict, product_inst->weak().root(), {"a"}),
+      *dict.FindObject("x"));
+
+  auto joined = JoinWorlds(*lw, *rw, "root", cond);
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  double total = 0;
+  ObjectId x = *dict.FindObject("x");
+  for (const World& w : *joined) {
+    EXPECT_TRUE(w.instance.Present(x));
+    total += w.prob;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Efficient Join agrees.
+  auto join_inst = Join(left, *right, "root", cond);
+  ASSERT_TRUE(join_inst.ok()) << join_inst.status();
+  testing::ExpectInstanceMatchesWorlds(*join_inst, *joined);
+}
+
+}  // namespace
+}  // namespace pxml

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/potential_children.h"
+#include "core/validation.h"
+#include "core/weak_instance.h"
+#include "fixtures.h"
+#include "graph/algorithms.h"
+
+namespace pxml {
+namespace {
+
+using testing::MakeBibliographicInstance;
+
+// ------------------------------------------------------------ WeakInstance
+
+TEST(WeakInstanceTest, LchAndLabels) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  const Dictionary& dict = weak.dict();
+  ObjectId b1 = *dict.FindObject("B1");
+  LabelId author = *dict.FindLabel("author");
+  LabelId title = *dict.FindLabel("title");
+  EXPECT_EQ(weak.Lch(b1, author).size(), 2u);
+  EXPECT_EQ(weak.Lch(b1, title).size(), 1u);
+  EXPECT_EQ(weak.LabelsOf(b1).size(), 2u);
+  EXPECT_EQ(weak.AllPotentialChildren(b1).size(), 3u);
+  EXPECT_TRUE(weak.Lch(b1, *dict.FindLabel("book")).empty());
+}
+
+TEST(WeakInstanceTest, ChildLabelIsUniquePerPair) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  const Dictionary& dict = weak.dict();
+  ObjectId b1 = *dict.FindObject("B1");
+  ObjectId t1 = *dict.FindObject("T1");
+  EXPECT_EQ(weak.ChildLabel(b1, t1), *dict.FindLabel("title"));
+  EXPECT_FALSE(weak.ChildLabel(t1, b1).has_value());
+}
+
+TEST(WeakInstanceTest, LeavesAreLchFree) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  EXPECT_TRUE(weak.IsLeaf(*weak.dict().FindObject("T1")));
+  EXPECT_FALSE(weak.IsLeaf(*weak.dict().FindObject("A1")));
+}
+
+TEST(WeakInstanceTest, WeakInstanceGraphHasLchEdges) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  auto graph = WeakInstanceGraph(inst.weak());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_objects(), 11u);
+  EXPECT_EQ(graph->num_edges(), 15u);
+  EXPECT_TRUE(IsAcyclic(*graph));
+}
+
+TEST(WeakInstanceTest, CardMaxZeroDropsGraphEdges) {
+  WeakInstance weak;
+  ObjectId r = weak.AddObject("r");
+  ObjectId x = weak.AddObject("x");
+  LabelId l = weak.dict().InternLabel("l");
+  ASSERT_TRUE(weak.SetRoot(r).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(r, l, x).ok());
+  ASSERT_TRUE(weak.SetCard(r, l, IntInterval(0, 0)).ok());
+  auto graph = WeakInstanceGraph(weak);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 0u);
+}
+
+TEST(WeakInstanceTest, AcyclicityCheck) {
+  WeakInstance weak;
+  ObjectId a = weak.AddObject("a");
+  ObjectId b = weak.AddObject("b");
+  LabelId l = weak.dict().InternLabel("l");
+  ASSERT_TRUE(weak.SetRoot(a).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(a, l, b).ok());
+  EXPECT_TRUE(CheckAcyclic(weak).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(b, l, a).ok());
+  EXPECT_FALSE(CheckAcyclic(weak).ok());
+}
+
+TEST(WeakInstanceTest, TreeCheck) {
+  ProbabilisticInstance bib = MakeBibliographicInstance();
+  EXPECT_FALSE(CheckWeakTree(bib.weak()).ok());  // A1/A2 share I1 etc.
+  ProbabilisticInstance small = testing::MakeSmallTreeInstance();
+  EXPECT_TRUE(CheckWeakTree(small.weak()).ok());
+}
+
+TEST(WeakInstanceTest, WeakPathLayers) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  const Dictionary& dict = weak.dict();
+  PathExpression p;
+  p.start = weak.root();
+  p.labels = {*dict.FindLabel("book"), *dict.FindLabel("title")};
+  auto layers = PrunedWeakPathLayers(weak, p);
+  ASSERT_TRUE(layers.ok());
+  // Only B1 and B3 can have titles.
+  EXPECT_EQ((*layers)[1].size(), 2u);
+  EXPECT_FALSE((*layers)[1].Contains(*dict.FindObject("B2")));
+  EXPECT_EQ((*layers)[2].size(), 2u);
+}
+
+// ------------------------------------------------------- PotentialChildren
+
+TEST(PotentialChildrenTest, PLRespectsCardinality) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  const Dictionary& dict = weak.dict();
+  ObjectId b1 = *dict.FindObject("B1");
+  LabelId author = *dict.FindLabel("author");
+  // card(B1, author) = [1,2], lch = {A1, A2}: PL = {{A1},{A2},{A1,A2}}
+  auto pl = PotentialLabelChildSets(weak, b1, author);
+  ASSERT_TRUE(pl.ok());
+  EXPECT_EQ(pl->size(), 3u);
+}
+
+TEST(PotentialChildrenTest, PCIsCrossProductOfLabels) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  const Dictionary& dict = weak.dict();
+  ObjectId b1 = *dict.FindObject("B1");
+  // authors: 3 choices x titles: {} or {T1} = 6 sets (Figure 2's PC(B1)).
+  auto pc = PotentialChildSets(weak, b1);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc->size(), 6u);
+  for (const IdSet& c : *pc) {
+    EXPECT_TRUE(IsPotentialChildSet(weak, b1, c));
+  }
+  auto count = CountPotentialChildSets(weak, b1);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 6u);
+}
+
+TEST(PotentialChildrenTest, RootPCMatchesFigure2) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  ObjectId r = weak.root();
+  // card(R, book) = [2,3] over 3 books: C(3,2)+C(3,3) = 4 sets.
+  auto pc = PotentialChildSets(weak, r);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc->size(), 4u);
+}
+
+TEST(PotentialChildrenTest, MembershipRejectsForeignAndOversized) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const WeakInstance& weak = inst.weak();
+  const Dictionary& dict = weak.dict();
+  ObjectId r = weak.root();
+  ObjectId b1 = *dict.FindObject("B1");
+  ObjectId t1 = *dict.FindObject("T1");
+  EXPECT_FALSE(IsPotentialChildSet(weak, r, IdSet{b1}));       // card.min=2
+  EXPECT_FALSE(IsPotentialChildSet(weak, r, IdSet{b1, t1}));   // T1 foreign
+  EXPECT_FALSE(IsPotentialChildSet(weak, b1, IdSet{t1}));      // 0 authors
+}
+
+TEST(PotentialChildrenTest, EmptyPLWhenMinExceedsLch) {
+  WeakInstance weak;
+  ObjectId r = weak.AddObject("r");
+  ObjectId x = weak.AddObject("x");
+  LabelId l = weak.dict().InternLabel("l");
+  ASSERT_TRUE(weak.SetRoot(r).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(r, l, x).ok());
+  ASSERT_TRUE(weak.SetCard(r, l, IntInterval(2, 3)).ok());
+  auto pl = PotentialLabelChildSets(weak, r, l);
+  ASSERT_TRUE(pl.ok());
+  EXPECT_TRUE(pl->empty());
+  auto pc = PotentialChildSets(weak, r);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_TRUE(pc->empty());
+}
+
+TEST(PotentialChildrenTest, LeafHasSingletonEmptyPC) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  auto pc = PotentialChildSets(inst.weak(),
+                               *inst.dict().FindObject("T1"));
+  ASSERT_TRUE(pc.ok());
+  ASSERT_EQ(pc->size(), 1u);
+  EXPECT_TRUE((*pc)[0].empty());
+}
+
+// --------------------------------------------------------------- Instance
+
+TEST(ProbabilisticInstanceTest, DeepCopyClonesOpfs) {
+  ProbabilisticInstance a = MakeBibliographicInstance();
+  ProbabilisticInstance b = a;
+  ObjectId r = a.weak().root();
+  EXPECT_NE(a.GetOpf(r), b.GetOpf(r));
+  EXPECT_EQ(a.GetOpf(r)->NumEntries(), b.GetOpf(r)->NumEntries());
+  EXPECT_EQ(a.TotalOpfEntries(), b.TotalOpfEntries());
+}
+
+TEST(ProbabilisticInstanceTest, TotalOpfEntriesCounts) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  // 4 + 6 + 3 + 1 + 2 + 2 + 1 = 19 rows across the seven OPFs.
+  EXPECT_EQ(inst.TotalOpfEntries(), 19u);
+}
+
+TEST(ProbabilisticInstanceTest, SetOpfRejectsUnknownObject) {
+  ProbabilisticInstance inst;
+  EXPECT_FALSE(inst.SetOpf(3, std::make_unique<ExplicitOpf>()).ok());
+}
+
+// ------------------------------------------------------------- Validation
+
+TEST(ValidationTest, Figure2InstanceIsValid) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  EXPECT_TRUE(ValidateProbabilisticInstance(inst).ok());
+  EXPECT_TRUE(ValidateWeakInstance(inst.weak()).ok());
+}
+
+TEST(ValidationTest, FullyTypedInstanceIsValid) {
+  EXPECT_TRUE(ValidateProbabilisticInstance(
+                  testing::MakeFullyTypedBibliographicInstance())
+                  .ok());
+}
+
+TEST(ValidationTest, DetectsOpfMassOffByOne) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  auto opf = std::make_unique<ExplicitOpf>();
+  ObjectId b3 = *inst.dict().FindObject("B3");
+  ObjectId a3 = *inst.dict().FindObject("A3");
+  ObjectId t2 = *inst.dict().FindObject("T2");
+  opf->Set(IdSet{a3, t2}, 0.9);  // should be 1.0
+  ASSERT_TRUE(inst.SetOpf(b3, std::move(opf)).ok());
+  EXPECT_FALSE(ValidateProbabilisticInstance(inst).ok());
+}
+
+TEST(ValidationTest, DetectsSupportOutsidePC) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  ObjectId b3 = *inst.dict().FindObject("B3");
+  ObjectId a3 = *inst.dict().FindObject("A3");
+  auto opf = std::make_unique<ExplicitOpf>();
+  // Missing the mandatory title child (card [1,1]).
+  opf->Set(IdSet{a3}, 1.0);
+  ASSERT_TRUE(inst.SetOpf(b3, std::move(opf)).ok());
+  Status s = ValidateProbabilisticInstance(inst);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidationTest, DetectsMissingOpf) {
+  ProbabilisticInstance inst;
+  WeakInstance& weak = inst.weak();
+  ObjectId r = weak.AddObject("r");
+  ObjectId x = weak.AddObject("x");
+  LabelId l = weak.dict().InternLabel("l");
+  ASSERT_TRUE(weak.SetRoot(r).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(r, l, x).ok());
+  EXPECT_FALSE(ValidateProbabilisticInstance(inst).ok());
+  ValidationOptions lax;
+  lax.require_complete_interpretation = false;
+  EXPECT_TRUE(ValidateProbabilisticInstance(inst, lax).ok());
+}
+
+TEST(ValidationTest, DetectsOverlappingLchFamilies) {
+  ProbabilisticInstance inst;
+  WeakInstance& weak = inst.weak();
+  ObjectId r = weak.AddObject("r");
+  ObjectId x = weak.AddObject("x");
+  LabelId a = weak.dict().InternLabel("a");
+  LabelId b = weak.dict().InternLabel("b");
+  ASSERT_TRUE(weak.SetRoot(r).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(r, a, x).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(r, b, x).ok());
+  EXPECT_FALSE(ValidateWeakInstance(weak).ok());
+}
+
+TEST(ValidationTest, DetectsUnsatisfiableCard) {
+  ProbabilisticInstance inst;
+  WeakInstance& weak = inst.weak();
+  ObjectId r = weak.AddObject("r");
+  ObjectId x = weak.AddObject("x");
+  LabelId l = weak.dict().InternLabel("l");
+  ASSERT_TRUE(weak.SetRoot(r).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(r, l, x).ok());
+  ASSERT_TRUE(weak.SetCard(r, l, IntInterval(5, 9)).ok());
+  EXPECT_FALSE(ValidateWeakInstance(weak).ok());
+}
+
+TEST(ValidationTest, DetectsCycle) {
+  ProbabilisticInstance inst;
+  WeakInstance& weak = inst.weak();
+  ObjectId a = weak.AddObject("a");
+  ObjectId b = weak.AddObject("b");
+  LabelId l = weak.dict().InternLabel("l");
+  ASSERT_TRUE(weak.SetRoot(a).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(a, l, b).ok());
+  ASSERT_TRUE(weak.AddPotentialChild(b, l, a).ok());
+  EXPECT_FALSE(ValidateWeakInstance(weak).ok());
+}
+
+}  // namespace
+}  // namespace pxml

@@ -1,0 +1,59 @@
+#ifndef PXML_TESTS_FIXTURES_H_
+#define PXML_TESTS_FIXTURES_H_
+
+#include "core/probabilistic_instance.h"
+
+namespace pxml {
+namespace testing {
+
+/// The bibliographic probabilistic instance of the paper's Figure 2.
+///
+/// Objects R, B1..B3, T1, T2, A1..A3, I1, I2 with
+///   lch(R, book) = {B1,B2,B3}            card [2,3]
+///   lch(B1, title) = {T1}                card [0,1]
+///   lch(B1, author) = {A1,A2}            card [1,2]
+///   lch(B2, author) = {A1,A2,A3}         card [2,2]
+///   lch(B3, title) = {T2}                card [1,1]
+///   lch(B3, author) = {A3}               card [1,1]
+///   lch(A1, institution) = {I1}          card [0,1]
+///   lch(A2, institution) = {I1,I2}       card [1,1]
+///   lch(A3, institution) = {I2}          card [1,1]
+/// and the OPFs of the figure (℘(A1)({I1}) = 0.8 per Example 4.1).
+///
+/// T1 carries title-type with VPF {VQDB: 0.4, Lore: 0.6} — the figure's
+/// VPF is not legible in our copy of the paper, but 0.4 is the unique
+/// value making Example 4.1's P(S1) = 0.00448 come out, so we adopt it.
+/// The remaining leaves are untyped (as in the Example 4.1 computation,
+/// which includes no VPF factors for them).
+ProbabilisticInstance MakeBibliographicInstance();
+
+/// The same instance with *every* leaf typed and carrying a VPF:
+///   T1, T2 : title-type {VQDB: 0.4, Lore: 0.6} / {VQDB: 0.3, Lore: 0.7}
+///   I1, I2 : institution-type {Stanford: 0.6, UMD: 0.4} /
+///            {Stanford: 0.25, UMD: 0.75}
+/// Used by tests that need full value semantics.
+ProbabilisticInstance MakeFullyTypedBibliographicInstance();
+
+/// A small 2-level tree instance that is cheap to enumerate:
+///   r --a--> x1, x2 (explicit OPF), x1 --b--> y1, y2 (explicit OPF),
+///   y1/y2/x2 typed leaves with 2-value domains.
+ProbabilisticInstance MakeSmallTreeInstance();
+
+/// A 3-object chain r --a--> x --b--> y with optional links
+/// (P(x|r) = 0.6, P(y|x) = 0.5) and a typed leaf y with VPF
+/// {hit: 0.25, miss: 0.75}. The simplest fixture with a unique target.
+ProbabilisticInstance MakeChainInstance();
+
+/// A tree-shaped variant of the bibliographic instance (no shared
+/// authors/institutions), so the efficient Section-6 algorithms apply:
+///   R -book-> {B1, B2}            (card [1,2])
+///   B1 -title-> {T1}, -author-> {A1, A2}
+///   B2 -author-> {A3}
+///   A1 -institution-> {I1}, A2 -institution-> {I2}
+/// with leaves typed and carrying VPFs.
+ProbabilisticInstance MakeTreeBibliographicInstance();
+
+}  // namespace testing
+}  // namespace pxml
+
+#endif  // PXML_TESTS_FIXTURES_H_

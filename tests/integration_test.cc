@@ -1,0 +1,196 @@
+// End-to-end tests covering the four Section-2 scenarios of the paper and
+// the full load -> query -> store pipeline.
+#include <gtest/gtest.h>
+
+#include "algebra/cartesian_product.h"
+#include "algebra/projection.h"
+#include "algebra/projection_global.h"
+#include "algebra/selection.h"
+#include "algebra/selection_global.h"
+#include "bayes/network.h"
+#include "core/semantics.h"
+#include "core/validation.h"
+#include "fixtures.h"
+#include "query/parser.h"
+#include "query/point_queries.h"
+#include "world_testing.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace pxml {
+namespace {
+
+using testing::MakeBibliographicInstance;
+using testing::MakeTreeBibliographicInstance;
+
+// Scenario 1 (§2): "We want to know the authors of all books ... keep the
+// result so that further enquiries (e.g., about probabilities) can be
+// made on it."
+TEST(Section2Scenarios, AuthorsOfAllBooksThenFollowUpQuery) {
+  ProbabilisticInstance inst = MakeTreeBibliographicInstance();
+  auto q = ParseQuery(inst.dict(), "project R.book.author");
+  ASSERT_TRUE(q.ok());
+  auto out = ExecuteQuery(inst, *q);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(out->instance.has_value());
+  const ProbabilisticInstance& projected = *out->instance;
+  // Titles and institutions are gone; books and authors remain.
+  EXPECT_FALSE(projected.weak().Present(*inst.dict().FindObject("T1")));
+  EXPECT_FALSE(projected.weak().Present(*inst.dict().FindObject("I1")));
+  EXPECT_TRUE(projected.weak().Present(*inst.dict().FindObject("A1")));
+  // The follow-up enquiry: P(A1 in R.book.author) is preserved exactly.
+  auto p_before = PointQuery(
+      inst, q->path, *inst.dict().FindObject("A1"));
+  auto p_after = PointQuery(
+      projected, q->path, *inst.dict().FindObject("A1"));
+  ASSERT_TRUE(p_before.ok());
+  ASSERT_TRUE(p_after.ok()) << p_after.status();
+  EXPECT_NEAR(*p_before, *p_after, 1e-9);
+}
+
+// Scenario 2 (§2): "Now we know that a particular book surely exists.
+// What will the updated probabilistic instance become?"
+TEST(Section2Scenarios, ConditioningOnACertainBook) {
+  ProbabilisticInstance inst = MakeTreeBibliographicInstance();
+  auto q = ParseQuery(inst.dict(), "select R.book = B1");
+  ASSERT_TRUE(q.ok());
+  auto out = ExecuteQuery(inst, *q);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->instance.has_value());
+  // In the updated instance B1 exists with probability 1...
+  auto p = PointQuery(*out->instance,
+                      ParsePathExpression(inst.dict(), "R.book").value(),
+                      *inst.dict().FindObject("B1"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 1.0, 1e-12);
+  // ...and the other book's probability is the Bayesian update
+  // P(B2 | B1) = P(B1,B2)/P(B1) = 0.5/0.8.
+  auto p2 = PointQuery(*out->instance,
+                       ParsePathExpression(inst.dict(), "R.book").value(),
+                       *inst.dict().FindObject("B2"));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NEAR(*p2, 0.5 / 0.8, 1e-12);
+}
+
+// Scenario 3 (§2): "We have two probabilistic instances ... about books
+// of two different areas and we want to combine them into one."
+TEST(Section2Scenarios, CombiningTwoBibliographies) {
+  ProbabilisticInstance db = MakeTreeBibliographicInstance();
+  ProbabilisticInstance ai = MakeTreeBibliographicInstance();
+  auto renamed = RenameObjects(
+      ai, {{"R", "R_ai"},
+           {"B1", "B1_ai"},
+           {"B2", "B2_ai"},
+           {"T1", "T1_ai"},
+           {"A1", "A1_ai"},
+           {"A2", "A2_ai"},
+           {"A3", "A3_ai"},
+           {"I1", "I1_ai"},
+           {"I2", "I2_ai"}});
+  ASSERT_TRUE(renamed.ok()) << renamed.status();
+  auto combined = CartesianProduct(db, *renamed, "Bib");
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  EXPECT_TRUE(ValidateProbabilisticInstance(*combined).ok());
+  // The same path expression now reaches books of both areas.
+  auto path = ParsePathExpression(combined->dict(), "Bib.book");
+  ASSERT_TRUE(path.ok());
+  auto layers = PrunedWeakPathLayers(combined->weak(), *path);
+  ASSERT_TRUE(layers.ok());
+  EXPECT_EQ(layers->back().size(), 4u);  // B1, B2, B1_ai, B2_ai
+  // Areas stay independent.
+  auto p_b1 = PointQuery(*combined, *path,
+                         *combined->dict().FindObject("B1"));
+  ASSERT_TRUE(p_b1.ok());
+  EXPECT_NEAR(*p_b1, 0.8, 1e-12);
+}
+
+// Scenario 4 (§2): "We want to know the probability that a particular
+// author exists."
+TEST(Section2Scenarios, ProbabilityAParticularAuthorExists) {
+  ProbabilisticInstance inst = MakeTreeBibliographicInstance();
+  auto q = ParseQuery(inst.dict(), "prob R.book.author = A1");
+  ASSERT_TRUE(q.ok());
+  auto out = ExecuteQuery(inst, *q);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->probability.has_value());
+  // Cross-check against the possible-worlds oracle and the BN route.
+  auto oracle = PointQueryViaWorlds(inst, q->path, q->object);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(*out->probability, *oracle, 1e-9);
+  auto net = BayesNet::Compile(inst);
+  ASSERT_TRUE(net.ok());
+  auto bn = net->ProbPresent(q->object);
+  ASSERT_TRUE(bn.ok());
+  EXPECT_NEAR(*out->probability, *bn, 1e-9);
+}
+
+// Full pipeline: generate -> store -> load -> query -> project -> store.
+TEST(PipelineTest, StoreLoadQueryStore) {
+  ProbabilisticInstance inst = MakeTreeBibliographicInstance();
+  std::string path = ::testing::TempDir() + "/pipeline.pxml";
+  ASSERT_TRUE(WritePxmlFile(inst, path).ok());
+  auto loaded = ReadPxmlFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  auto q = ParseQuery(loaded->dict(), "project R.book.author");
+  ASSERT_TRUE(q.ok());
+  auto out = ExecuteQuery(*loaded, *q);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(out->instance.has_value());
+
+  std::string path2 = ::testing::TempDir() + "/pipeline_projected.pxml";
+  ASSERT_TRUE(WritePxmlFile(*out->instance, path2).ok());
+  auto reloaded = ReadPxmlFile(path2);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  auto expected = EnumerateWorlds(*out->instance);
+  ASSERT_TRUE(expected.ok());
+  testing::ExpectInstanceMatchesWorlds(*reloaded, *expected);
+}
+
+// Algebra composition: projection after selection equals the global
+// composition of both operators.
+TEST(CompositionTest, SelectThenProjectMatchesOracle) {
+  ProbabilisticInstance inst = MakeTreeBibliographicInstance();
+  const Dictionary& dict = inst.dict();
+  auto cond = ParseSelectionCondition(dict, "R.book = B1");
+  ASSERT_TRUE(cond.ok());
+  auto path = ParsePathExpression(dict, "R.book.author");
+  ASSERT_TRUE(path.ok());
+
+  auto selected = Select(inst, *cond);
+  ASSERT_TRUE(selected.ok());
+  auto projected = AncestorProject(*selected, *path);
+  ASSERT_TRUE(projected.ok()) << projected.status();
+
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  auto sel_worlds = SelectWorlds(*worlds, *cond);
+  ASSERT_TRUE(sel_worlds.ok());
+  auto proj_worlds = ProjectWorlds(*sel_worlds, *path);
+  ASSERT_TRUE(proj_worlds.ok());
+  testing::ExpectInstanceMatchesWorlds(*projected, *proj_worlds);
+}
+
+// The DAG-shaped Figure-2 instance: the full global pipeline still works.
+TEST(DagPipelineTest, GlobalOperatorsOnFigure2) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  auto path = ParsePathExpression(inst.dict(), "R.book.author");
+  ASSERT_TRUE(path.ok());
+  auto projected = ProjectWorlds(*worlds, *path);
+  ASSERT_TRUE(projected.ok());
+  double sum = 0;
+  for (const World& w : *projected) sum += w.prob;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  auto cond = ParseSelectionCondition(inst.dict(), "R.book = B1");
+  ASSERT_TRUE(cond.ok());
+  auto selected = SelectWorlds(*worlds, *cond);
+  ASSERT_TRUE(selected.ok());
+  for (const World& w : *selected) {
+    EXPECT_TRUE(w.instance.Present(*inst.dict().FindObject("B1")));
+  }
+}
+
+}  // namespace
+}  // namespace pxml

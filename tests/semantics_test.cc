@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/factoring.h"
+#include "core/semantics.h"
+#include "fixtures.h"
+#include "prob/distribution.h"
+
+namespace pxml {
+namespace {
+
+using testing::MakeBibliographicInstance;
+using testing::MakeFullyTypedBibliographicInstance;
+using testing::MakeSmallTreeInstance;
+
+/// Builds the compatible instance S1 of the paper's Figure 3:
+/// R -> {B1, B2}, B1 -> {A1, T1}, B2 -> {A1, A2}, A1 -> I1, A2 -> I1,
+/// with T1 = VQDB (the value that reproduces Example 4.1's number).
+SemistructuredInstance MakeS1(const ProbabilisticInstance& inst) {
+  const Dictionary& dict = inst.dict();
+  SemistructuredInstance s;
+  s.SetDictionary(dict);
+  for (const char* name : {"R", "B1", "B2", "T1", "A1", "A2", "I1"}) {
+    EXPECT_TRUE(s.AddObjectById(*dict.FindObject(name)).ok());
+  }
+  EXPECT_TRUE(s.SetRoot(*dict.FindObject("R")).ok());
+  auto edge = [&](const char* a, const char* l, const char* b) {
+    EXPECT_TRUE(s.AddEdge(*dict.FindObject(a), *dict.FindLabel(l),
+                          *dict.FindObject(b))
+                    .ok());
+  };
+  edge("R", "book", "B1");
+  edge("R", "book", "B2");
+  edge("B1", "author", "A1");
+  edge("B1", "title", "T1");
+  edge("B2", "author", "A1");
+  edge("B2", "author", "A2");
+  edge("A1", "institution", "I1");
+  edge("A2", "institution", "I1");
+  EXPECT_TRUE(s.SetLeafValue(*dict.FindObject("T1"),
+                             *dict.FindType("title-type"), Value("VQDB"))
+                  .ok());
+  return s;
+}
+
+TEST(SemanticsTest, Example41_WorldProbabilityIs00448) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  SemistructuredInstance s1 = MakeS1(inst);
+  ASSERT_TRUE(CheckCompatible(inst.weak(), s1).ok());
+  auto p = WorldProbability(inst, s1);
+  ASSERT_TRUE(p.ok());
+  // P(S1) = 0.2 * 0.35 * 0.4 * 0.8 * 0.5 * P(T1=VQDB) = 0.0112 * 0.4.
+  EXPECT_NEAR(*p, 0.00448, 1e-12);
+}
+
+TEST(SemanticsTest, Theorem1_WorldProbabilitiesSumToOne) {
+  // The coherence theorem: P_wp is a legal global interpretation.
+  for (const ProbabilisticInstance& inst :
+       {MakeBibliographicInstance(), MakeFullyTypedBibliographicInstance(),
+        MakeSmallTreeInstance()}) {
+    auto worlds = EnumerateWorlds(inst);
+    ASSERT_TRUE(worlds.ok()) << worlds.status();
+    double sum = 0.0;
+    for (const World& w : *worlds) sum += w.prob;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SemanticsTest, EveryEnumeratedWorldIsCompatible) {
+  ProbabilisticInstance inst = MakeFullyTypedBibliographicInstance();
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_GT(worlds->size(), 10u);
+  for (const World& w : *worlds) {
+    EXPECT_TRUE(CheckCompatible(inst.weak(), w.instance).ok());
+    auto p = WorldProbability(inst, w.instance);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(*p, w.prob, 1e-12);
+  }
+}
+
+TEST(SemanticsTest, EnumeratedWorldsAreDistinct) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  std::set<std::string> fingerprints;
+  for (const World& w : *worlds) {
+    EXPECT_TRUE(fingerprints.insert(w.instance.Fingerprint()).second);
+  }
+}
+
+TEST(SemanticsTest, SmallTreeWorldCountIsExact) {
+  // r's OPF: {x1}, {x2}, {x1,x2}. x1's OPF: 4 sets. Leaves: 2 values each.
+  //  {x1}:    4 x1-choices; y-leaves add values.
+  //    {}:1, {y1}:2, {y2}:2, {y1,y2}:4      = 9
+  //  {x2}:    2 (x2 value choices)          = 2
+  //  {x1,x2}: 9 * 2                         = 18
+  ProbabilisticInstance inst = MakeSmallTreeInstance();
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 29u);
+}
+
+TEST(SemanticsTest, IncompatibleWorldsRejected) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const Dictionary& dict = inst.dict();
+  // Root with a single book violates card(R, book).min = 2.
+  SemistructuredInstance s;
+  s.SetDictionary(dict);
+  ASSERT_TRUE(s.AddObjectById(*dict.FindObject("R")).ok());
+  ASSERT_TRUE(s.AddObjectById(*dict.FindObject("B3")).ok());
+  ASSERT_TRUE(s.AddObjectById(*dict.FindObject("T2")).ok());
+  ASSERT_TRUE(s.AddObjectById(*dict.FindObject("A3")).ok());
+  ASSERT_TRUE(s.AddObjectById(*dict.FindObject("I2")).ok());
+  ASSERT_TRUE(s.SetRoot(*dict.FindObject("R")).ok());
+  ASSERT_TRUE(s.AddEdge(*dict.FindObject("R"), *dict.FindLabel("book"),
+                        *dict.FindObject("B3"))
+                  .ok());
+  ASSERT_TRUE(s.AddEdge(*dict.FindObject("B3"), *dict.FindLabel("title"),
+                        *dict.FindObject("T2"))
+                  .ok());
+  ASSERT_TRUE(s.AddEdge(*dict.FindObject("B3"), *dict.FindLabel("author"),
+                        *dict.FindObject("A3"))
+                  .ok());
+  ASSERT_TRUE(s.AddEdge(*dict.FindObject("A3"),
+                        *dict.FindLabel("institution"),
+                        *dict.FindObject("I2"))
+                  .ok());
+  EXPECT_FALSE(CheckCompatible(inst.weak(), s).ok());
+}
+
+TEST(SemanticsTest, UnsanctionedEdgeRejected) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  SemistructuredInstance s1 = MakeS1(inst);
+  const Dictionary& dict = inst.dict();
+  // B2 -> T1 under "title" is not in lch(B2, title).
+  ASSERT_TRUE(s1.AddEdge(*dict.FindObject("B2"), *dict.FindLabel("title"),
+                         *dict.FindObject("T1"))
+                  .ok());
+  EXPECT_FALSE(CheckCompatible(inst.weak(), s1).ok());
+}
+
+TEST(SemanticsTest, WrongRootRejected) {
+  ProbabilisticInstance inst = MakeBibliographicInstance();
+  const Dictionary& dict = inst.dict();
+  SemistructuredInstance s;
+  s.SetDictionary(dict);
+  ASSERT_TRUE(s.AddObjectById(*dict.FindObject("B1")).ok());
+  ASSERT_TRUE(s.SetRoot(*dict.FindObject("B1")).ok());
+  EXPECT_FALSE(CheckCompatible(inst.weak(), s).ok());
+}
+
+TEST(SemanticsTest, MaxWorldsGuardTriggers) {
+  ProbabilisticInstance inst = MakeFullyTypedBibliographicInstance();
+  EnumerationOptions options;
+  options.max_worlds = 3;
+  auto worlds = EnumerateWorlds(inst, options);
+  EXPECT_FALSE(worlds.ok());
+}
+
+TEST(SemanticsTest, ZeroProbabilityWorldsOptional) {
+  ProbabilisticInstance inst = MakeSmallTreeInstance();
+  auto base = EnumerateWorlds(inst);
+  ASSERT_TRUE(base.ok());
+  EnumerationOptions options;
+  options.include_zero_probability_worlds = true;
+  auto full = EnumerateWorlds(inst, options);
+  ASSERT_TRUE(full.ok());
+  // The full Domain(W) is a superset (it ranges over all of PC even where
+  // the OPF assigns 0). Here supports are full, so counts match.
+  EXPECT_GE(full->size(), base->size());
+}
+
+// ------------------------------------------------------------------ top-k
+
+TEST(MostProbableWorldsTest, TopOneIsTheArgmax) {
+  ProbabilisticInstance inst = MakeSmallTreeInstance();
+  auto all = EnumerateWorlds(inst);
+  ASSERT_TRUE(all.ok());
+  double best = 0;
+  for (const World& w : *all) best = std::max(best, w.prob);
+  auto top = MostProbableWorlds(inst, 1);
+  ASSERT_TRUE(top.ok()) << top.status();
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_NEAR((*top)[0].prob, best, 1e-12);
+  EXPECT_TRUE(CheckCompatible(inst.weak(), (*top)[0].instance).ok());
+}
+
+TEST(MostProbableWorldsTest, TopKMatchesSortedEnumeration) {
+  ProbabilisticInstance inst = MakeFullyTypedBibliographicInstance();
+  auto all = EnumerateWorlds(inst);
+  ASSERT_TRUE(all.ok());
+  std::vector<double> probs;
+  for (const World& w : *all) probs.push_back(w.prob);
+  std::sort(probs.rbegin(), probs.rend());
+  for (std::size_t k : {1u, 3u, 10u}) {
+    auto top = MostProbableWorlds(inst, k);
+    ASSERT_TRUE(top.ok());
+    ASSERT_EQ(top->size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR((*top)[i].prob, probs[i], 1e-12) << "k=" << k << " i=" << i;
+    }
+    // Descending order.
+    for (std::size_t i = 1; i < k; ++i) {
+      EXPECT_GE((*top)[i - 1].prob + 1e-15, (*top)[i].prob);
+    }
+  }
+}
+
+TEST(MostProbableWorldsTest, KLargerThanDomainReturnsAll) {
+  ProbabilisticInstance inst = MakeSmallTreeInstance();
+  auto all = EnumerateWorlds(inst);
+  ASSERT_TRUE(all.ok());
+  auto top = MostProbableWorlds(inst, 10000);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), all->size());
+  EXPECT_FALSE(MostProbableWorlds(inst, 0).ok());
+}
+
+// ----------------------------------------------------- Theorem 2 factoring
+
+TEST(FactoringTest, RoundTripsTheGlobalInterpretation) {
+  for (const ProbabilisticInstance& inst :
+       {MakeFullyTypedBibliographicInstance(), MakeSmallTreeInstance()}) {
+    auto worlds = EnumerateWorlds(inst);
+    ASSERT_TRUE(worlds.ok());
+    auto factored = FactorGlobalInterpretation(inst.weak(), *worlds);
+    ASSERT_TRUE(factored.ok()) << factored.status();
+    // The recovered local interpretation reproduces every world's
+    // probability (Theorem 2).
+    for (const World& w : *worlds) {
+      auto p = WorldProbability(*factored, w.instance);
+      ASSERT_TRUE(p.ok());
+      EXPECT_NEAR(*p, w.prob, 1e-9);
+    }
+  }
+}
+
+TEST(FactoringTest, RecoversOriginalOpfs) {
+  ProbabilisticInstance inst = MakeFullyTypedBibliographicInstance();
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  auto factored = FactorGlobalInterpretation(inst.weak(), *worlds);
+  ASSERT_TRUE(factored.ok());
+  for (ObjectId o : inst.weak().Objects()) {
+    const Opf* original = inst.GetOpf(o);
+    if (original == nullptr) continue;
+    const Opf* recovered = factored->GetOpf(o);
+    ASSERT_NE(recovered, nullptr);
+    for (const OpfEntry& e : original->Entries()) {
+      EXPECT_NEAR(recovered->Prob(e.child_set), e.prob, 1e-9)
+          << "object " << inst.dict().ObjectName(o) << " set "
+          << e.child_set.ToString();
+    }
+  }
+}
+
+TEST(FactoringTest, ProductDistributionSatisfiesWeakInstance) {
+  ProbabilisticInstance inst = MakeSmallTreeInstance();
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok());
+  auto sat = GlobalSatisfiesWeakInstance(inst.weak(), *worlds);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+TEST(FactoringTest, NonFactorableMixtureDetected) {
+  // Mix two distributions with *different* x1-OPFs conditioned on
+  // different root choices — the mixture correlates r's and x1's choices
+  // and cannot factor (Def 4.5 fails).
+  ProbabilisticInstance a = MakeSmallTreeInstance();
+  ProbabilisticInstance b = MakeSmallTreeInstance();
+  const Dictionary& dict = a.dict();
+  ObjectId r = a.weak().root();
+  ObjectId x1 = *dict.FindObject("x1");
+  ObjectId x2 = *dict.FindObject("x2");
+  ObjectId y1 = *dict.FindObject("y1");
+  {
+    auto opf = std::make_unique<ExplicitOpf>();
+    opf->Set(IdSet{x1}, 1.0);
+    ASSERT_TRUE(a.SetOpf(r, std::move(opf)).ok());
+    auto x1opf = std::make_unique<ExplicitOpf>();
+    x1opf->Set(IdSet{y1}, 1.0);
+    ASSERT_TRUE(a.SetOpf(x1, std::move(x1opf)).ok());
+  }
+  {
+    auto opf = std::make_unique<ExplicitOpf>();
+    opf->Set(IdSet{x1, x2}, 1.0);
+    ASSERT_TRUE(b.SetOpf(r, std::move(opf)).ok());
+    auto x1opf = std::make_unique<ExplicitOpf>();
+    x1opf->Set(IdSet(), 1.0);
+    ASSERT_TRUE(b.SetOpf(x1, std::move(x1opf)).ok());
+  }
+  auto wa = EnumerateWorlds(a);
+  auto wb = EnumerateWorlds(b);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  std::vector<World> mixed = *wa;
+  for (World& w : mixed) w.prob *= 0.5;
+  for (const World& w : *wb) {
+    mixed.push_back(World{w.instance, 0.5 * w.prob});
+  }
+  auto sat = GlobalSatisfiesWeakInstance(a.weak(), mixed);
+  ASSERT_TRUE(sat.ok()) << sat.status();
+  EXPECT_FALSE(*sat);
+}
+
+}  // namespace
+}  // namespace pxml

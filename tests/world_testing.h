@@ -1,0 +1,59 @@
+#ifndef PXML_TESTS_WORLD_TESTING_H_
+#define PXML_TESTS_WORLD_TESTING_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/semantics.h"
+
+namespace pxml {
+namespace testing {
+
+/// Collapses a world list into a fingerprint -> probability map.
+inline std::map<std::string, double> WorldDistribution(
+    const std::vector<World>& worlds) {
+  std::map<std::string, double> out;
+  for (const World& w : worlds) out[w.instance.Fingerprint()] += w.prob;
+  return out;
+}
+
+/// Asserts that two world lists define the same distribution (worlds
+/// matched by fingerprint, probabilities within `tol`).
+inline void ExpectSameDistribution(const std::vector<World>& actual,
+                                   const std::vector<World>& expected,
+                                   double tol = 1e-9) {
+  std::map<std::string, double> a = WorldDistribution(actual);
+  std::map<std::string, double> e = WorldDistribution(expected);
+  for (const auto& [fp, p] : e) {
+    auto it = a.find(fp);
+    if (it == a.end()) {
+      ADD_FAILURE() << "missing world (p=" << p << "): " << fp;
+      continue;
+    }
+    EXPECT_NEAR(it->second, p, tol) << "world: " << fp;
+  }
+  for (const auto& [fp, p] : a) {
+    if (e.find(fp) == e.end() && p > tol) {
+      ADD_FAILURE() << "unexpected world (p=" << p << "): " << fp;
+    }
+  }
+}
+
+/// Asserts that enumerating `instance` yields exactly the `expected`
+/// distribution — the standard check that an efficient algebra operator
+/// agrees with its possible-worlds oracle.
+inline void ExpectInstanceMatchesWorlds(const ProbabilisticInstance& instance,
+                                        const std::vector<World>& expected,
+                                        double tol = 1e-9) {
+  auto worlds = EnumerateWorlds(instance);
+  ASSERT_TRUE(worlds.ok()) << worlds.status();
+  ExpectSameDistribution(*worlds, expected, tol);
+}
+
+}  // namespace testing
+}  // namespace pxml
+
+#endif  // PXML_TESTS_WORLD_TESTING_H_
