@@ -1,0 +1,125 @@
+// Batch query engine throughput: a fixed batch of mixed point / exists /
+// value / ancestor-projection queries over one §7.1 workload instance,
+// evaluated serially (threads=1) and with the parallel engine at
+// --threads=N (default: hardware concurrency). Prints queries/second for
+// each configuration, the speedup, the pool's scheduling counters, and
+// verifies that the parallel answers are bit-identical to the serial
+// ones before reporting.
+//
+// Usage: bench_batch_queries [--threads=N]
+#include <cstdio>
+#include <cstring>
+
+#include "fig7_common.h"
+#include "query/batch_engine.h"
+#include "xml/writer.h"
+
+namespace pxml {
+namespace bench {
+namespace {
+
+std::vector<BatchQuery> MakeBatch(const ProbabilisticInstance& inst,
+                                  std::size_t count) {
+  Rng rng(0xBA7C4BEEF);
+  std::vector<BatchQuery> queries;
+  queries.reserve(count);
+  while (queries.size() < count) {
+    auto cond = GenerateObjectSelection(inst, rng);
+    BenchCheck(cond.status(), "condition");
+    switch (queries.size() % 4) {
+      case 0:
+        queries.push_back(BatchQuery::Point(cond->path, cond->object));
+        break;
+      case 1:
+        queries.push_back(BatchQuery::Exists(cond->path));
+        break;
+      case 2:
+        queries.push_back(BatchQuery::Condition(*cond));
+        break;
+      default:
+        queries.push_back(BatchQuery::AncestorProjection(cond->path));
+        break;
+    }
+  }
+  return queries;
+}
+
+/// Answers must be bit-identical across engines (determinism by
+/// construction); abort loudly if they are not.
+void CheckIdentical(const std::vector<BatchAnswer>& serial,
+                    const std::vector<BatchAnswer>& parallel) {
+  if (serial.size() != parallel.size()) {
+    std::fprintf(stderr, "answer count mismatch\n");
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    bool same =
+        serial[i].status.code() == parallel[i].status.code() &&
+        std::memcmp(&serial[i].probability, &parallel[i].probability,
+                    sizeof(double)) == 0 &&
+        serial[i].projection.has_value() ==
+            parallel[i].projection.has_value();
+    if (same && serial[i].projection.has_value()) {
+      same = SerializePxml(*serial[i].projection) ==
+             SerializePxml(*parallel[i].projection);
+    }
+    if (!same) {
+      std::fprintf(stderr, "query %zu: parallel answer differs\n", i);
+      std::exit(1);
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  const std::size_t threads =
+      ParseThreadsFlag(argc, argv, std::thread::hardware_concurrency());
+  const std::size_t kQueries = 400;
+
+  GeneratorConfig config;
+  config.depth = 7;
+  config.branching = 4;
+  config.labeling = LabelingScheme::kSameLabels;
+  config.seed = 20260806;
+  config.with_leaf_values = true;
+  auto inst = GenerateBalancedTree(config);
+  BenchCheck(inst.status(), "generate");
+
+  std::vector<BatchQuery> queries = MakeBatch(*inst, kQueries);
+  std::printf(
+      "# batch query engine: %zu mixed queries over one instance "
+      "(%zu objects, %zu OPF rows)\n",
+      queries.size(), inst->weak().num_objects(), inst->TotalOpfEntries());
+  std::printf("%8s %10s %10s %8s %8s %8s %10s %8s\n", "threads", "wall_s",
+              "cpu_s", "qps", "speedup", "tasks", "steals", "depth");
+
+  double serial_wall = 0.0;
+  std::vector<BatchAnswer> serial_answers;
+  for (std::size_t t : {std::size_t{1}, threads}) {
+    BatchOptions options;
+    options.threads = t;
+    BatchQueryEngine engine(*inst, options);
+    BatchStats stats;
+    auto answers = engine.Run(queries, &stats);
+    BenchCheck(answers.status(), "run");
+    if (t == 1) {
+      serial_wall = stats.wall_seconds;
+      serial_answers = std::move(answers).ValueOrDie();
+    } else {
+      CheckIdentical(serial_answers, *answers);
+    }
+    std::printf("%8zu %10.3f %10.3f %8.1f %8.2f %8zu %10zu %8zu\n",
+                stats.threads, stats.wall_seconds, stats.cpu_seconds,
+                static_cast<double>(queries.size()) / stats.wall_seconds,
+                serial_wall / stats.wall_seconds, stats.tasks,
+                stats.steal_count, stats.max_queue_depth);
+    std::fflush(stdout);
+    if (t == 1 && t == threads) break;  // nothing more to compare
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pxml
+
+int main(int argc, char** argv) { return pxml::bench::Main(argc, argv); }

@@ -68,6 +68,25 @@ inline std::string ScratchPath() {
   return dir + "/pxml_bench_scratch.pxml";
 }
 
+/// Parses a `--threads=N` flag (the only flag the parallel benches
+/// take); returns `default_threads` when absent or malformed.
+inline std::size_t ParseThreadsFlag(int argc, char** argv,
+                                    std::size_t default_threads) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(arg.c_str() + prefix.size(), &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+      std::fprintf(stderr, "ignoring malformed %s\n", arg.c_str());
+    }
+  }
+  return default_threads;
+}
+
 /// Fails fast on infrastructure errors (generation, I/O).
 inline void BenchCheck(const Status& status, const char* what) {
   if (!status.ok()) {

@@ -1,5 +1,6 @@
 #include "algebra/projection.h"
 
+#include <atomic>
 #include <chrono>
 #include <unordered_map>
 
@@ -62,7 +63,7 @@ void SetCardFromSupport(ObjectId o, LabelId l,
 
 Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
-    ProjectionStats* stats) {
+    ProjectionStats* stats, const ParallelOptions& parallel) {
   const WeakInstance& weak = instance.weak();
   const std::size_t num_ids = weak.dict().num_objects();
   PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
@@ -109,99 +110,127 @@ Result<ProbabilisticInstance> AncestorProject(
 
   // New OPF tables for objects at depths n-1 .. 0.
   std::vector<std::unique_ptr<ExplicitOpf>> new_opf(num_ids);
-  std::size_t processed = 0;
+  std::atomic<std::size_t> processed{0};
 
-  for (std::size_t level = n; level-- > 0;) {
+  // Marginalize/ε-update one frontier object. Reads eps/dropped of the
+  // (finalized) next layer, writes only this object's eps / dropped /
+  // new_opf slots — so a layer's objects can be processed in any order,
+  // or concurrently, with bit-identical results.
+  auto update_object = [&](ObjectId o, std::size_t level) -> Status {
     const bool children_are_targets = (level + 1 == n);
     const LabelId l = path.labels[level];
-    for (ObjectId o : layers[level]) {
-      // Retained children: potential l-children that are still alive in
-      // the next layer.
-      std::vector<std::uint32_t> retained;
-      for (ObjectId c : weak.Lch(o, l).Intersect(layers[level + 1])) {
-        if (!dropped[c]) retained.push_back(c);
+    // Retained children: potential l-children that are still alive in
+    // the next layer.
+    std::vector<std::uint32_t> retained;
+    for (ObjectId c : weak.Lch(o, l).Intersect(layers[level + 1])) {
+      if (!dropped[c]) retained.push_back(c);
+    }
+    const Opf* opf = instance.GetOpf(o);
+    if (opf == nullptr) {
+      return Status::FailedPrecondition(
+          StrCat("non-leaf '", weak.dict().ObjectName(o),
+                 "' has no OPF"));
+    }
+    if (retained.size() > 20) {
+      return Status::InvalidArgument(
+          "projection update too wide (>20 retained children)");
+    }
+    // Dense accumulation indexed by bitmask over the retained children
+    // (subset-of-retained -> probability). Keeps the inner loop free of
+    // allocation; complexity is quadratic in the OPF size, matching the
+    // paper's observation.
+    IdSet retained_set(std::move(retained));
+    const std::vector<std::uint32_t>& rids = retained_set.ids();
+    std::vector<double> acc(std::size_t{1} << rids.size(), 0.0);
+    auto mask_of = [&](const IdSet& part) {
+      std::size_t mask = 0;
+      for (std::size_t b = 0; b < rids.size(); ++b) {
+        if (part.Contains(rids[b])) mask |= std::size_t{1} << b;
       }
-      const Opf* opf = instance.GetOpf(o);
-      if (opf == nullptr) {
-        return Status::FailedPrecondition(
-            StrCat("non-leaf '", weak.dict().ObjectName(o),
-                   "' has no OPF"));
+      return mask;
+    };
+    std::size_t rows_read = 0;
+    for (const OpfEntry& row : opf->Entries()) {
+      ++rows_read;
+      if (row.prob <= 0.0) continue;
+      std::size_t part = mask_of(row.child_set.Intersect(retained_set));
+      if (children_are_targets) {
+        // Targets have ε = 1: pure marginalization onto the retained
+        // children (the paper's first bullet).
+        acc[part] += row.prob;
+        continue;
       }
-      if (retained.size() > 20) {
-        return Status::InvalidArgument(
-            "projection update too wide (>20 retained children)");
-      }
-      // Dense accumulation indexed by bitmask over the retained children
-      // (subset-of-retained -> probability). Keeps the inner loop free of
-      // allocation; complexity is quadratic in the OPF size, matching the
-      // paper's observation.
-      IdSet retained_set(std::move(retained));
-      const std::vector<std::uint32_t>& rids = retained_set.ids();
-      std::vector<double> acc(std::size_t{1} << rids.size(), 0.0);
-      auto mask_of = [&](const IdSet& part) {
-        std::size_t mask = 0;
+      // General level: distribute the row over subsets of its retained
+      // children, weighting members by ε and non-members by (1 - ε)
+      // (the paper's third bullet). Iterate submasks of `part`.
+      std::size_t sub = part;
+      for (;;) {
+        double w = row.prob;
         for (std::size_t b = 0; b < rids.size(); ++b) {
-          if (part.Contains(rids[b])) mask |= std::size_t{1} << b;
+          std::size_t bit = std::size_t{1} << b;
+          if (!(part & bit)) continue;
+          w *= (sub & bit) ? eps[rids[b]] : 1.0 - eps[rids[b]];
         }
-        return mask;
-      };
-      for (const OpfEntry& row : opf->Entries()) {
-        ++processed;
-        if (row.prob <= 0.0) continue;
-        std::size_t part = mask_of(row.child_set.Intersect(retained_set));
-        if (children_are_targets) {
-          // Targets have ε = 1: pure marginalization onto the retained
-          // children (the paper's first bullet).
-          acc[part] += row.prob;
-          continue;
-        }
-        // General level: distribute the row over subsets of its retained
-        // children, weighting members by ε and non-members by (1 - ε)
-        // (the paper's third bullet). Iterate submasks of `part`.
-        std::size_t sub = part;
-        for (;;) {
-          double w = row.prob;
-          for (std::size_t b = 0; b < rids.size(); ++b) {
-            std::size_t bit = std::size_t{1} << b;
-            if (!(part & bit)) continue;
-            w *= (sub & bit) ? eps[rids[b]] : 1.0 - eps[rids[b]];
-          }
-          acc[sub] += w;
-          if (sub == 0) break;
-          sub = (sub - 1) & part;
-        }
+        acc[sub] += w;
+        if (sub == 0) break;
+        sub = (sub - 1) & part;
       }
-      // ε_o: mass of non-empty child sets.
-      double e = 0.0;
-      for (std::size_t mask = 1; mask < acc.size(); ++mask) e += acc[mask];
-      eps[o] = e;
-      std::size_t first_mask = 0;
-      if (level > 0) {
-        if (e <= kDropEps) {
-          dropped[o] = 1;
-          continue;
-        }
-        // Normalize: condition on having a surviving child.
-        first_mask = 1;
-        for (std::size_t mask = 1; mask < acc.size(); ++mask) acc[mask] /= e;
+    }
+    processed.fetch_add(rows_read, std::memory_order_relaxed);
+    // ε_o: mass of non-empty child sets.
+    double e = 0.0;
+    for (std::size_t mask = 1; mask < acc.size(); ++mask) e += acc[mask];
+    eps[o] = e;
+    std::size_t first_mask = 0;
+    if (level > 0) {
+      if (e <= kDropEps) {
+        dropped[o] = 1;
+        return Status::Ok();
       }
-      std::vector<OpfEntry> rows;
-      for (std::size_t mask = first_mask; mask < acc.size(); ++mask) {
-        if (acc[mask] <= 0.0 && mask != 0) continue;
-        std::vector<std::uint32_t> members;
-        for (std::size_t b = 0; b < rids.size(); ++b) {
-          if (mask & (std::size_t{1} << b)) members.push_back(rids[b]);
-        }
-        rows.push_back(OpfEntry{IdSet(std::move(members)), acc[mask]});
+      // Normalize: condition on having a surviving child.
+      first_mask = 1;
+      for (std::size_t mask = 1; mask < acc.size(); ++mask) acc[mask] /= e;
+    }
+    std::vector<OpfEntry> rows;
+    for (std::size_t mask = first_mask; mask < acc.size(); ++mask) {
+      if (acc[mask] <= 0.0 && mask != 0) continue;
+      std::vector<std::uint32_t> members;
+      for (std::size_t b = 0; b < rids.size(); ++b) {
+        if (mask & (std::size_t{1} << b)) members.push_back(rids[b]);
       }
-      new_opf[o] = std::make_unique<ExplicitOpf>(
-          ExplicitOpf::FromEntries(std::move(rows)));
+      rows.push_back(OpfEntry{IdSet(std::move(members)), acc[mask]});
+    }
+    new_opf[o] = std::make_unique<ExplicitOpf>(
+        ExplicitOpf::FromEntries(std::move(rows)));
+    return Status::Ok();
+  };
+
+  for (std::size_t level = n; level-- > 0;) {
+    const IdSet& frontier = layers[level];
+    if (parallel.pool != nullptr && frontier.size() > 1 &&
+        frontier.size() >= parallel.min_parallel_width) {
+      const std::vector<std::uint32_t>& objs = frontier.ids();
+      std::vector<Status> statuses(objs.size());
+      const std::size_t grain = std::max<std::size_t>(
+          1, objs.size() / (4 * parallel.pool->num_threads() + 1));
+      ParallelFor(parallel.pool, objs.size(), grain,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t k = begin; k < end; ++k) {
+                      statuses[k] = update_object(objs[k], level);
+                    }
+                  });
+      // Deterministic error selection: first failure in frontier order.
+      for (const Status& s : statuses) PXML_RETURN_IF_ERROR(s);
+    } else {
+      for (ObjectId o : frontier) {
+        PXML_RETURN_IF_ERROR(update_object(o, level));
+      }
     }
   }
   Clock::time_point t3 = Clock::now();
   if (stats != nullptr) {
     stats->update_seconds = Seconds(t2, t3);
-    stats->processed_entries = processed;
+    stats->processed_entries = processed.load(std::memory_order_relaxed);
   }
 
   // ---- Build the projected structure.

@@ -6,6 +6,7 @@
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pxml {
 
@@ -42,9 +43,15 @@ struct ProjectionStats {
 /// Requires the weak instance graph to be a tree (the paper's stated
 /// assumption for the efficient algorithms); returns Unimplemented
 /// otherwise — use the global ProjectWorlds oracle for DAGs.
+///
+/// With a ThreadPool in `parallel`, the marginalisation/ε pass partitions
+/// each pruned layer over independent subtrees (objects in one layer only
+/// read their children's already-finalized values and write their own
+/// slots), so the result is bit-identical to the serial pass; the root
+/// level and the structure build remain sequential.
 Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
-    ProjectionStats* stats = nullptr);
+    ProjectionStats* stats = nullptr, const ParallelOptions& parallel = {});
 
 /// Efficient descendant projection: ancestor projection, plus every
 /// target keeps its original subtree (whose local interpretation is

@@ -32,37 +32,64 @@ Result<double> EpsilonPropagator::RootEpsilon(
   }
   if (n == 0) return eps[weak.root()];
 
+  // ε of one frontier object from its children's (finalized) ε values.
+  // Writes only eps[o]; the per-row sums stay sequential per object, so
+  // parallel and serial execution produce identical bits.
+  auto compute = [&](ObjectId o, LabelId l, const IdSet& next_layer)
+      -> Status {
+    const IdSet retained = weak.Lch(o, l).Intersect(next_layer);
+    const Opf* opf = instance_.GetOpf(o);
+    if (opf == nullptr) {
+      return Status::FailedPrecondition(
+          StrCat("non-leaf '", weak.dict().ObjectName(o), "' has no OPF"));
+    }
+    double e = 0.0;
+    if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
+      // §3.2 structure exploitation: with independent children,
+      // ε_o = 1 - Π_{j ∈ R} (1 - p_j ε_j) in O(|children|) instead of
+      // O(2^|children|) table rows.
+      double none = 1.0;
+      for (const auto& [child, p] : ind->children()) {
+        if (retained.Contains(child)) none *= 1.0 - p * eps[child];
+      }
+      e = 1.0 - none;
+    } else {
+      for (const OpfEntry& row : opf->Entries()) {
+        if (row.prob <= 0.0) continue;
+        double none = 1.0;
+        for (ObjectId j : row.child_set.Intersect(retained)) {
+          none *= 1.0 - eps[j];
+        }
+        e += row.prob * (1.0 - none);
+      }
+    }
+    eps[o] = e;
+    return Status::Ok();
+  };
+
   for (std::size_t level = n; level-- > 0;) {
     const LabelId l = path.labels[level];
-    for (ObjectId o : layers[level]) {
-      const IdSet retained = weak.Lch(o, l).Intersect(layers[level + 1]);
-      const Opf* opf = instance_.GetOpf(o);
-      if (opf == nullptr) {
-        return Status::FailedPrecondition(
-            StrCat("non-leaf '", weak.dict().ObjectName(o),
-                   "' has no OPF"));
+    const IdSet& frontier = layers[level];
+    const IdSet& next_layer = layers[level + 1];
+    if (parallel_.pool != nullptr && frontier.size() > 1 &&
+        frontier.size() >= parallel_.min_parallel_width) {
+      // Partition the frontier; each chunk fills disjoint status slots.
+      const std::vector<ObjectId>& objs = frontier.ids();
+      std::vector<Status> statuses(objs.size());
+      const std::size_t grain = std::max<std::size_t>(
+          1, objs.size() / (4 * parallel_.pool->num_threads() + 1));
+      ParallelFor(parallel_.pool, objs.size(), grain,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t k = begin; k < end; ++k) {
+                      statuses[k] = compute(objs[k], l, next_layer);
+                    }
+                  });
+      // Deterministic error selection: first failure in frontier order.
+      for (const Status& s : statuses) PXML_RETURN_IF_ERROR(s);
+    } else {
+      for (ObjectId o : frontier) {
+        PXML_RETURN_IF_ERROR(compute(o, l, next_layer));
       }
-      double e = 0.0;
-      if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
-        // §3.2 structure exploitation: with independent children,
-        // ε_o = 1 - Π_{j ∈ R} (1 - p_j ε_j) in O(|children|) instead of
-        // O(2^|children|) table rows.
-        double none = 1.0;
-        for (const auto& [child, p] : ind->children()) {
-          if (retained.Contains(child)) none *= 1.0 - p * eps[child];
-        }
-        e = 1.0 - none;
-      } else {
-        for (const OpfEntry& row : opf->Entries()) {
-          if (row.prob <= 0.0) continue;
-          double none = 1.0;
-          for (ObjectId j : row.child_set.Intersect(retained)) {
-            none *= 1.0 - eps[j];
-          }
-          e += row.prob * (1.0 - none);
-        }
-      }
-      eps[o] = e;
     }
   }
   return eps[weak.root()];

@@ -7,6 +7,7 @@
 #include "graph/path.h"
 #include "prob/value.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pxml {
 
@@ -22,10 +23,18 @@ namespace pxml {
 ///
 /// `target_eps(o)` supplies the base case for objects satisfying p:
 /// 1.0 for plain existence, VPF(v) for value queries.
+///
+/// With a ThreadPool in `parallel`, wide levels of the bottom-up pass are
+/// partitioned across workers: objects in one pruned layer lie in
+/// disjoint subtrees, so their ε values depend only on the (already
+/// finalized) layer below and each per-object sum stays sequential —
+/// the result is bit-identical to the serial pass regardless of
+/// scheduling. The final root combine is inherently sequential.
 class EpsilonPropagator {
  public:
-  explicit EpsilonPropagator(const ProbabilisticInstance& instance)
-      : instance_(instance) {}
+  explicit EpsilonPropagator(const ProbabilisticInstance& instance,
+                             ParallelOptions parallel = {})
+      : instance_(instance), parallel_(parallel) {}
 
   /// ε_root for the given path, with target survival probabilities from
   /// `target_eps` (parallel to `targets`). Targets must all lie in the
@@ -37,6 +46,7 @@ class EpsilonPropagator {
 
  private:
   const ProbabilisticInstance& instance_;
+  ParallelOptions parallel_;
 };
 
 }  // namespace pxml

@@ -8,35 +8,39 @@
 namespace pxml {
 
 Result<double> PointQuery(const ProbabilisticInstance& instance,
-                          const PathExpression& path, ObjectId object) {
+                          const PathExpression& path, ObjectId object,
+                          const ParallelOptions& parallel) {
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
                         PrunedWeakPathLayers(instance.weak(), path));
   if (!layers.back().Contains(object)) return 0.0;
-  EpsilonPropagator prop(instance);
+  EpsilonPropagator prop(instance, parallel);
   return prop.RootEpsilon(path, {object}, {1.0});
 }
 
 Result<double> ExistsQuery(const ProbabilisticInstance& instance,
-                           const PathExpression& path) {
+                           const PathExpression& path,
+                           const ParallelOptions& parallel) {
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
                         PrunedWeakPathLayers(instance.weak(), path));
   std::vector<ObjectId> targets(layers.back().begin(), layers.back().end());
   if (targets.empty()) return 0.0;
-  EpsilonPropagator prop(instance);
+  EpsilonPropagator prop(instance, parallel);
   return prop.RootEpsilon(path, targets,
                           std::vector<double>(targets.size(), 1.0));
 }
 
 Result<double> ValueQuery(const ProbabilisticInstance& instance,
-                          const PathExpression& path, const Value& value) {
+                          const PathExpression& path, const Value& value,
+                          const ParallelOptions& parallel) {
   return ConditionProbability(
-      instance, SelectionCondition::ValueEquals(path, value));
+      instance, SelectionCondition::ValueEquals(path, value), parallel);
 }
 
 Result<double> ConditionProbability(const ProbabilisticInstance& instance,
-                                    const SelectionCondition& condition) {
+                                    const SelectionCondition& condition,
+                                    const ParallelOptions& parallel) {
   if (condition.kind == SelectionCondition::Kind::kObject) {
-    return PointQuery(instance, condition.path, condition.object);
+    return PointQuery(instance, condition.path, condition.object, parallel);
   }
   const WeakInstance& weak = instance.weak();
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
@@ -78,7 +82,7 @@ Result<double> ConditionProbability(const ProbabilisticInstance& instance,
     eps.push_back(e);
   }
   if (targets.empty()) return 0.0;
-  EpsilonPropagator prop(instance);
+  EpsilonPropagator prop(instance, parallel);
   return prop.RootEpsilon(condition.path, targets, eps);
 }
 

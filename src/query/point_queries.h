@@ -8,6 +8,7 @@
 #include "graph/path.h"
 #include "prob/value.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pxml {
 
@@ -16,19 +17,27 @@ namespace pxml {
 /// over the path ancestors; the *ViaWorlds variants are the exponential
 /// possible-worlds oracles used for testing and for the global-vs-local
 /// ablation benchmark.
+///
+/// Each efficient variant accepts ParallelOptions: with a pool, the
+/// ε-propagation pass is partitioned over independent subtrees (see
+/// EpsilonPropagator); the default is the serial path and the result is
+/// bit-identical either way.
 
 /// P(o ∈ p): the probability that object o satisfies path expression p in
 /// a random compatible world (Def 6.1). Zero if o cannot match p.
 Result<double> PointQuery(const ProbabilisticInstance& instance,
-                          const PathExpression& path, ObjectId object);
+                          const PathExpression& path, ObjectId object,
+                          const ParallelOptions& parallel = {});
 
 /// P(∃ o: o ∈ p): some object satisfies p.
 Result<double> ExistsQuery(const ProbabilisticInstance& instance,
-                           const PathExpression& path);
+                           const PathExpression& path,
+                           const ParallelOptions& parallel = {});
 
 /// P(∃ o ∈ p with val(o) = v): some leaf reached by p carries value v.
 Result<double> ValueQuery(const ProbabilisticInstance& instance,
-                          const PathExpression& path, const Value& value);
+                          const PathExpression& path, const Value& value,
+                          const ParallelOptions& parallel = {});
 
 /// P(some object at the end of `condition.path` satisfies the condition)
 /// — the ε-propagation point query generalized to every condition kind:
@@ -36,7 +45,8 @@ Result<double> ValueQuery(const ProbabilisticInstance& instance,
 /// cardinality. This is also the normalization constant of the matching
 /// selection (Def 5.6).
 Result<double> ConditionProbability(const ProbabilisticInstance& instance,
-                                    const SelectionCondition& condition);
+                                    const SelectionCondition& condition,
+                                    const ParallelOptions& parallel = {});
 
 /// The probability of a simple object chain r.o_1...o_k (Section 6.2's
 /// warm-up): every listed object is a child of its predecessor. The chain

@@ -1,0 +1,262 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace pxml {
+
+namespace {
+
+/// Identifies the pool worker running on the current thread, if any, so
+/// Submit() can route to the worker's own deque.
+struct WorkerTls {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+
+thread_local WorkerTls tls;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    idle_cv_.wait(lk, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  stop_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: pairs with the waiters' check-then-wait so
+    // the notification cannot slip between a worker's check and its wait.
+    std::lock_guard<std::mutex> lk(global_mu_);
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::NoteQueueDepth(std::size_t depth) {
+  std::size_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_queue_depth_.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (tls.pool == this) {
+    WorkerQueue& q = *queues_[tls.index];
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lk(q.mu);
+      q.tasks.push_back(std::move(task));
+      depth = q.tasks.size();
+    }
+    NoteQueueDepth(depth);
+  } else {
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lk(global_mu_);
+      global_.push_back(std::move(task));
+      depth = global_.size();
+    }
+    NoteQueueDepth(depth);
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(global_mu_);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::PopOwn(std::size_t index, std::function<void()>* task) {
+  WorkerQueue& q = *queues_[index];
+  std::lock_guard<std::mutex> lk(q.mu);
+  if (q.tasks.empty()) return false;
+  *task = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool ThreadPool::PopGlobal(std::function<void()>* task) {
+  std::lock_guard<std::mutex> lk(global_mu_);
+  if (global_.empty()) return false;
+  *task = std::move(global_.front());
+  global_.pop_front();
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool ThreadPool::Steal(std::size_t thief, std::function<void()>* task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t d = 0; d < n; ++d) {
+    const std::size_t index = (thief + 1 + d) % n;  // wraps for external
+    if (index == thief) continue;
+    WorkerQueue& victim = *queues_[index];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (victim.tasks.empty()) continue;
+    *task = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  task();
+  task = nullptr;  // release captures before bookkeeping
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  bool got = (tls.pool == this)
+                 ? (PopOwn(tls.index, &task) || PopGlobal(&task) ||
+                    Steal(tls.index, &task))
+                 : (PopGlobal(&task) ||
+                    Steal(static_cast<std::size_t>(-1), &task));
+  if (!got) return false;
+  RunTask(task);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  tls.pool = this;
+  tls.index = index;
+  std::function<void()> task;
+  while (true) {
+    if (PopOwn(index, &task) || PopGlobal(&task) || Steal(index, &task)) {
+      RunTask(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(global_mu_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (queued_.load(std::memory_order_acquire) > 0) continue;
+    // Bounded wait as a safety net; the empty critical section in
+    // Submit()/~ThreadPool() makes lost wakeups impossible regardless.
+    wake_.wait_for(lk, std::chrono::milliseconds(50));
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
+}
+
+TaskGroup::~TaskGroup() {
+  assert(pending_.load(std::memory_order_acquire) == 0 &&
+         "TaskGroup destroyed before Wait()");
+}
+
+void TaskGroup::Finish(std::exception_ptr error) {
+  if (error != nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (error_ == nullptr) error_ = error;
+  }
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (pool_ == nullptr) {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    Finish(error);
+    return;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    Finish(error);
+  });
+}
+
+void TaskGroup::Wait() {
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (pool_ != nullptr && pool_->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (pending_.load(std::memory_order_acquire) == 0) break;
+    cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  grain = std::max<std::size_t>(1, grain);
+  if (n == 0) return;
+  if (pool == nullptr || n <= grain) {
+    body(0, n);
+    return;
+  }
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::atomic<std::size_t> next{0};
+  auto work = [&next, num_chunks, grain, n, &body] {
+    while (true) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      body(c * grain, std::min(n, (c + 1) * grain));
+    }
+  };
+  TaskGroup group(pool);
+  const std::size_t helpers =
+      std::min(pool->num_threads(), num_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) group.Run(work);
+  // The caller claims chunks too; contain its exceptions so Wait() always
+  // runs (helpers reference this frame's state until then).
+  std::exception_ptr error;
+  try {
+    work();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  try {
+    group.Wait();
+  } catch (...) {
+    if (error == nullptr) error = std::current_exception();
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace pxml

@@ -1,0 +1,156 @@
+#ifndef PXML_UTIL_THREAD_POOL_H_
+#define PXML_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pxml {
+
+/// A work-stealing thread pool for the parallel query engine.
+///
+/// Each worker owns a deque: tasks submitted from that worker go to the
+/// back of its own deque and are popped LIFO (locality for nested
+/// parallelism); idle workers steal from the front of other workers'
+/// deques (FIFO, oldest-first) or drain the shared injection queue that
+/// external threads submit into. Destruction drains: every task submitted
+/// before the destructor runs is executed before the workers join.
+///
+/// Tasks submitted via Submit() must not throw — use TaskGroup for
+/// exception propagation. All counters are approximate only in their
+/// timing, never their totals.
+class ThreadPool {
+ public:
+  /// Monotonic counters; read them before/after a batch and subtract to
+  /// attribute activity to that batch.
+  struct Stats {
+    /// Tasks executed to completion (by workers or helping callers).
+    std::uint64_t tasks_executed = 0;
+    /// Tasks a worker took from another worker's deque.
+    std::uint64_t steals = 0;
+    /// Maximum depth any single queue reached at submission time.
+    std::size_t max_queue_depth = 0;
+  };
+
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Waits for all submitted tasks to finish, then stops and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if one is available;
+  /// returns whether a task was run. Lets blocked callers help drain the
+  /// pool instead of idling (used by TaskGroup::Wait).
+  bool TryRunOneTask();
+
+  /// Snapshot of the monotonic counters.
+  Stats stats() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t index);
+  void RunTask(std::function<void()>& task);
+  bool PopOwn(std::size_t index, std::function<void()>* task);
+  bool PopGlobal(std::function<void()>* task);
+  bool Steal(std::size_t thief, std::function<void()>* task);
+  void NoteQueueDepth(std::size_t depth);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+
+  std::mutex global_mu_;
+  std::deque<std::function<void()>> global_;  // injection queue
+  std::condition_variable wake_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> queued_{0};   // tasks sitting in some queue
+  std::atomic<std::size_t> pending_{0};  // submitted but not yet finished
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;  // notified when pending_ reaches 0
+
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::size_t> max_queue_depth_{0};
+};
+
+/// Tracks completion of a set of tasks running on a ThreadPool.
+///
+/// Wait() blocks until every Run() task finished, helping execute queued
+/// pool tasks in the meantime (so nested groups — a pool task that forks
+/// its own group — cannot deadlock), and rethrows the first exception any
+/// task of this group threw.
+class TaskGroup {
+ public:
+  /// A null pool runs tasks inline on the calling thread.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Precondition on destruction: Wait() has returned (asserted).
+  ~TaskGroup();
+
+  /// Schedules `fn` on the pool (or runs it inline without a pool).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until all Run() tasks finished; rethrows the first captured
+  /// task exception.
+  void Wait();
+
+ private:
+  void Finish(std::exception_ptr error);
+
+  ThreadPool* pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr error_;  // guarded by mu_; first failure wins
+};
+
+/// Tuning knobs threaded through the parallel evaluation paths. The
+/// default (no pool) is the serial path, bit-identical to the historical
+/// implementation; with a pool, levels at least `min_parallel_width` wide
+/// are partitioned across workers. Results are deterministic either way —
+/// every object's value is accumulated sequentially from its already-
+/// finalized children, so scheduling cannot reorder any floating-point
+/// sum.
+struct ParallelOptions {
+  ThreadPool* pool = nullptr;
+  /// Frontier width below which a level runs serially on the calling
+  /// thread (partitioning overhead would dominate). The root merge is
+  /// always sequential (width 1).
+  std::size_t min_parallel_width = 32;
+};
+
+/// Splits [0, n) into contiguous chunks of at most `grain` indices and
+/// runs `body(begin, end)` over them on the pool, the calling thread
+/// included (the caller claims chunks too, so progress never depends on
+/// worker availability). Chunk order is unspecified: bodies must write
+/// disjoint state. Runs serially when `pool` is null or n <= grain.
+/// Exceptions from `body` propagate to the caller.
+void ParallelFor(ThreadPool* pool, std::size_t n, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace pxml
+
+#endif  // PXML_UTIL_THREAD_POOL_H_

@@ -13,6 +13,7 @@
 #include "bayes/network.h"
 #include "core/semantics.h"
 #include "core/validation.h"
+#include "query/batch_engine.h"
 #include "query/point_queries.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -127,6 +128,87 @@ TEST_P(RandomTreeTest, BayesNetAgreesOnPresence) {
     // In a generated tree every object is reachable by exactly one label
     // path, so presence == path satisfaction.
     EXPECT_NEAR(*eps, *bn, 1e-7);
+  }
+}
+
+// Differential harness: the same random workload evaluated three ways —
+// serial operators (threads = 1), the parallel batch engine at 2/4/8
+// threads, and the possible-worlds oracle. Parallel answers must be
+// bit-identical to the serial ones (determinism by construction), and the
+// serial ones must match the oracle up to tolerance. Each thread count
+// runs the batch twice to catch scheduling-dependent nondeterminism.
+TEST_P(RandomTreeTest, BatchEngineMatchesSerialAndOracle) {
+  ProbabilisticInstance inst = MakeInstance(/*with_values=*/false);
+  auto worlds = EnumerateWorlds(inst);
+  ASSERT_TRUE(worlds.ok()) << worlds.status();
+
+  Rng rng = QueryRng();
+  std::vector<BatchQuery> queries;
+  std::vector<SelectionCondition> conds;
+  for (int i = 0; i < 3; ++i) {
+    auto cond = GenerateObjectSelection(inst, rng);
+    ASSERT_TRUE(cond.ok());
+    conds.push_back(*cond);
+    queries.push_back(BatchQuery::Point(cond->path, cond->object));
+    queries.push_back(BatchQuery::Exists(cond->path));
+    queries.push_back(BatchQuery::AncestorProjection(cond->path));
+  }
+
+  BatchOptions serial_options;
+  serial_options.threads = 1;
+  BatchQueryEngine serial(inst, serial_options);
+  auto serial_answers = serial.Run(queries);
+  ASSERT_TRUE(serial_answers.ok()) << serial_answers.status();
+
+  // Leg 1: serial batch answers agree with the possible-worlds oracle.
+  for (std::size_t i = 0; i < conds.size(); ++i) {
+    const BatchAnswer& point = (*serial_answers)[3 * i];
+    const BatchAnswer& exists = (*serial_answers)[3 * i + 1];
+    const BatchAnswer& projected = (*serial_answers)[3 * i + 2];
+    ASSERT_TRUE(point.status.ok()) << point.status;
+    ASSERT_TRUE(exists.status.ok()) << exists.status;
+    ASSERT_TRUE(projected.status.ok()) << projected.status;
+    auto point_oracle =
+        PointQueryViaWorlds(inst, conds[i].path, conds[i].object);
+    ASSERT_TRUE(point_oracle.ok());
+    EXPECT_NEAR(point.probability, *point_oracle, 1e-7);
+    auto exists_oracle = ExistsQueryViaWorlds(inst, conds[i].path);
+    ASSERT_TRUE(exists_oracle.ok());
+    EXPECT_NEAR(exists.probability, *exists_oracle, 1e-7);
+    auto projection_oracle = ProjectWorlds(*worlds, conds[i].path);
+    ASSERT_TRUE(projection_oracle.ok());
+    ASSERT_TRUE(projected.projection.has_value());
+    testing::ExpectInstanceMatchesWorlds(*projected.projection,
+                                         *projection_oracle, 1e-7);
+  }
+
+  // Leg 2: parallel engines are bit-identical to serial at every thread
+  // count, across repeated runs of the same engine (fresh schedules).
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    BatchOptions options;
+    options.threads = threads;
+    options.min_parallel_width = 1;  // engage intra-query splits on tiny trees
+    BatchQueryEngine engine(inst, options);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      auto answers = engine.Run(queries);
+      ASSERT_TRUE(answers.ok()) << answers.status();
+      ASSERT_EQ(answers->size(), serial_answers->size());
+      for (std::size_t i = 0; i < answers->size(); ++i) {
+        const BatchAnswer& got = (*answers)[i];
+        const BatchAnswer& want = (*serial_answers)[i];
+        EXPECT_EQ(got.status.code(), want.status.code())
+            << "threads=" << threads << " repeat=" << repeat << " query " << i;
+        EXPECT_EQ(got.probability, want.probability)
+            << "threads=" << threads << " repeat=" << repeat << " query " << i;
+        ASSERT_EQ(got.projection.has_value(), want.projection.has_value());
+        if (got.projection.has_value()) {
+          EXPECT_EQ(SerializePxml(*got.projection),
+                    SerializePxml(*want.projection))
+              << "threads=" << threads << " repeat=" << repeat << " query "
+              << i;
+        }
+      }
+    }
   }
 }
 
