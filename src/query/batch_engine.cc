@@ -142,6 +142,9 @@ Result<std::vector<BatchAnswer>> BatchQueryEngine::Run(
   const double cpu0 = ProcessCpuSeconds();
   const ThreadPool::Stats pool0 =
       pool_ != nullptr ? pool_->stats() : ThreadPool::Stats{};
+  // tasks/steals are differenced against pool0 below; the queue-depth
+  // high-water mark cannot be, so restart it for this batch.
+  if (pool_ != nullptr) pool_->ResetMaxQueueDepth();
 
   std::vector<BatchAnswer> answers(queries.size());
   // Projection phase stats are accumulated per query slot and merged

@@ -76,11 +76,20 @@ void ThreadPool::Submit(std::function<void()> task) {
     }
     NoteQueueDepth(depth);
   }
-  queued_.fetch_add(1, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lk(global_mu_);
+  // Publish the task before reading idle_workers_ (Dekker-style pairing
+  // with WorkerLoop, which registers idle before re-checking queued_): at
+  // least one side observes the other, so either the worker sees the task
+  // and skips the wait, or we see the idle worker and wake it.
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  if (idle_workers_.load(std::memory_order_seq_cst) > 0) {
+    {
+      // Empty critical section: a worker between registering idle and
+      // waiting still holds global_mu_, so this acquisition cannot
+      // complete before it is parked and able to receive the notify.
+      std::lock_guard<std::mutex> lk(global_mu_);
+    }
+    wake_.notify_one();
   }
-  wake_.notify_one();
 }
 
 bool ThreadPool::PopOwn(std::size_t index, std::function<void()>* task) {
@@ -153,10 +162,24 @@ void ThreadPool::WorkerLoop(std::size_t index) {
     std::unique_lock<std::mutex> lk(global_mu_);
     if (stop_.load(std::memory_order_acquire)) return;
     if (queued_.load(std::memory_order_acquire) > 0) continue;
-    // Bounded wait as a safety net; the empty critical section in
-    // Submit()/~ThreadPool() makes lost wakeups impossible regardless.
+    // Register idle, then re-check for work published in the meantime:
+    // the seq_cst pairing with Submit() guarantees a submitter that
+    // missed our registration is itself seen here, so no wakeup is lost.
+    idle_workers_.fetch_add(1, std::memory_order_seq_cst);
+    if (queued_.load(std::memory_order_seq_cst) > 0) {
+      idle_workers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Bounded wait purely as defense in depth; the protocol above makes
+    // lost wakeups impossible (as does the empty critical section in
+    // ~ThreadPool() for the stop signal).
     wake_.wait_for(lk, std::chrono::milliseconds(50));
+    idle_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+std::size_t ThreadPool::ResetMaxQueueDepth() {
+  return max_queue_depth_.exchange(0, std::memory_order_relaxed);
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
@@ -173,12 +196,13 @@ TaskGroup::~TaskGroup() {
 }
 
 void TaskGroup::Finish(std::exception_ptr error) {
-  if (error != nullptr) {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (error_ == nullptr) error_ = error;
-  }
+  // The decrement must happen with mu_ held: Wait() always re-acquires
+  // mu_ after observing pending_ == 0, so it cannot return (and let the
+  // caller destroy this stack-allocated group) until the last finisher
+  // has released the lock and stopped touching members.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (error != nullptr && error_ == nullptr) error_ = std::move(error);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lk(mu_);
     cv_.notify_all();
   }
 }

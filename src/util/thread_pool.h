@@ -29,14 +29,17 @@ namespace pxml {
 /// timing, never their totals.
 class ThreadPool {
  public:
-  /// Monotonic counters; read them before/after a batch and subtract to
-  /// attribute activity to that batch.
+  /// Pool counters. The task/steal counts are monotonic: read them
+  /// before/after a batch and subtract to attribute activity to that
+  /// batch. The queue-depth high-water mark cannot be differenced that
+  /// way; use ResetMaxQueueDepth() to scope it to a batch instead.
   struct Stats {
     /// Tasks executed to completion (by workers or helping callers).
     std::uint64_t tasks_executed = 0;
     /// Tasks a worker took from another worker's deque.
     std::uint64_t steals = 0;
-    /// Maximum depth any single queue reached at submission time.
+    /// Maximum depth any single queue reached at submission time, since
+    /// construction or the last ResetMaxQueueDepth().
     std::size_t max_queue_depth = 0;
   };
 
@@ -59,8 +62,12 @@ class ThreadPool {
   /// pool instead of idling (used by TaskGroup::Wait).
   bool TryRunOneTask();
 
-  /// Snapshot of the monotonic counters.
+  /// Snapshot of the counters.
   Stats stats() const;
+
+  /// Restarts the queue-depth high-water mark from 0 and returns the
+  /// value it had, so callers can scope it to a batch.
+  std::size_t ResetMaxQueueDepth();
 
  private:
   struct WorkerQueue {
@@ -85,6 +92,9 @@ class ThreadPool {
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> queued_{0};   // tasks sitting in some queue
   std::atomic<std::size_t> pending_{0};  // submitted but not yet finished
+  // Workers registered as (about to be) parked on wake_. Submit() skips
+  // the wake fence entirely while this is 0 (the common busy case).
+  std::atomic<std::size_t> idle_workers_{0};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;  // notified when pending_ reaches 0
 

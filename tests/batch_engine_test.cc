@@ -10,6 +10,7 @@
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "query/batch_engine.h"
@@ -79,6 +80,34 @@ TEST(ThreadPoolTest, StatsCountTasks) {
   EXPECT_GE(s.max_queue_depth, 1u);
 }
 
+TEST(ThreadPoolTest, ResetMaxQueueDepthScopesHighWaterMark) {
+  ThreadPool pool(2);
+  // Hold both workers hostage so the next submissions pile up in the
+  // injection queue deterministically.
+  std::atomic<bool> release{false};
+  TaskGroup hostages(&pool);
+  for (int i = 0; i < 2; ++i) {
+    hostages.Run([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  TaskGroup work(&pool);
+  for (int i = 0; i < 16; ++i) work.Run([] {});
+  release.store(true, std::memory_order_release);
+  work.Wait();
+  hostages.Wait();
+  EXPECT_GE(pool.stats().max_queue_depth, 16u);
+  EXPECT_GE(pool.ResetMaxQueueDepth(), 16u);
+  EXPECT_EQ(pool.stats().max_queue_depth, 0u);
+  // The mark restarts from zero: one lone submission peaks at depth 1.
+  TaskGroup after(&pool);
+  after.Run([] {});
+  after.Wait();
+  EXPECT_EQ(pool.stats().max_queue_depth, 1u);
+}
+
 TEST(TaskGroupTest, WaitsForAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
@@ -105,6 +134,20 @@ TEST(TaskGroupTest, PropagatesTaskException) {
   after.Run([&count] { count.fetch_add(1); });
   after.Wait();
   EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskGroupTest, StackLifetimeChurn) {
+  // Regression: Finish() must do its bookkeeping entirely under the
+  // group mutex, otherwise the waiter can observe pending == 0, return
+  // from Wait(), and destroy the stack group while the last finisher is
+  // still about to lock it (use-after-free, TSAN-visible). Churn through
+  // short-lived stack groups to maximize that window.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 2000; ++iter) {
+    TaskGroup group(&pool);
+    for (int t = 0; t < 3; ++t) group.Run([] {});
+    group.Wait();
+  }
 }
 
 TEST(TaskGroupTest, InlineWithoutPoolPropagatesException) {
@@ -341,6 +384,28 @@ TEST_F(BatchEngineTest, PerQueryFailuresDoNotPoisonTheBatch) {
   EXPECT_TRUE((*answers)[0].status.ok());
   EXPECT_FALSE((*answers)[1].status.ok());
   EXPECT_TRUE((*answers)[2].status.ok());
+}
+
+TEST_F(BatchEngineTest, QueueDepthIsScopedPerBatch) {
+  // A reused engine must not report an earlier batch's queue high-water
+  // mark for a later, smaller batch.
+  const ProbabilisticInstance inst = MakeWorkloadInstance();
+  BatchOptions opts;
+  opts.threads = 2;
+  // Keep intra-query passes serial so task counts are exactly one per
+  // query and the single-query batch can only ever reach depth 1.
+  opts.min_parallel_width = 1000000;
+  BatchQueryEngine engine(inst, opts);
+
+  BatchStats big;
+  auto a = engine.Run(MakeQueries(inst, 300), &big);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_GE(big.max_queue_depth, 2u);
+
+  BatchStats small;
+  auto b = engine.Run(MakeQueries(inst, 1), &small);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_LE(small.max_queue_depth, 1u);
 }
 
 TEST_F(BatchEngineTest, EmptyBatchIsOk) {
