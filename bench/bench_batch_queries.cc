@@ -6,7 +6,7 @@
 // verifies that the parallel answers are bit-identical to the serial
 // ones before reporting.
 //
-// Usage: bench_batch_queries [--threads=N]
+// Usage: bench_batch_queries [--threads=N] [--seed=S]
 #include <cstdio>
 #include <cstring>
 
@@ -71,15 +71,18 @@ void CheckIdentical(const std::vector<BatchAnswer>& serial,
 }
 
 int Main(int argc, char** argv) {
-  const std::size_t threads =
-      ParseThreadsFlag(argc, argv, std::thread::hardware_concurrency());
+  BenchFlags defaults;
+  defaults.threads = std::thread::hardware_concurrency();
+  defaults.seed = 20260806;
+  const BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
+  const std::size_t threads = flags.threads;
   const std::size_t kQueries = 400;
 
   GeneratorConfig config;
   config.depth = 7;
   config.branching = 4;
   config.labeling = LabelingScheme::kSameLabels;
-  config.seed = 20260806;
+  config.seed = flags.seed;
   config.with_leaf_values = true;
   auto inst = GenerateBalancedTree(config);
   BenchCheck(inst.status(), "generate");

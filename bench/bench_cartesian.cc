@@ -6,14 +6,22 @@
 // OPFs — and is indeed independent of instance size (it depends only on
 // the roots' branching). BM_CartesianProductFull measures our functional
 // (copying) implementation, whose cost is the unavoidable deep copy.
+//
+// Usage: bench_cartesian [--seed=S] [--threads=N] [gbench flags]
+// (--threads is accepted for interface uniformity across the bench
+// suite; both kernels here are single-threaded.)
 #include <benchmark/benchmark.h>
 
 #include "algebra/cartesian_product.h"
+#include "fig7_common.h"
 #include "workload/generator.h"
 
 namespace {
 
 using namespace pxml;  // NOLINT
+
+// Default seed 0 keeps the historical per-tree seeds (base + 1, base + 2).
+bench::BenchFlags g_flags{/*threads=*/1, /*seed=*/0};
 
 ProbabilisticInstance MakeTree(std::uint32_t depth, std::uint32_t branching,
                                std::uint64_t seed) {
@@ -28,8 +36,8 @@ ProbabilisticInstance MakeTree(std::uint32_t depth, std::uint32_t branching,
 
 void BM_RootOpfMerge(benchmark::State& state) {
   std::uint32_t depth = static_cast<std::uint32_t>(state.range(0));
-  ProbabilisticInstance left = MakeTree(depth, 4, 1);
-  ProbabilisticInstance right = MakeTree(depth, 4, 2);
+  ProbabilisticInstance left = MakeTree(depth, 4, g_flags.seed + 1);
+  ProbabilisticInstance right = MakeTree(depth, 4, g_flags.seed + 2);
   const Opf* lroot = left.GetOpf(left.weak().root());
   const Opf* rroot = right.GetOpf(right.weak().root());
   for (auto _ : state) {
@@ -51,8 +59,8 @@ BENCHMARK(BM_RootOpfMerge)->DenseRange(2, 6, 1);
 
 void BM_CartesianProductFull(benchmark::State& state) {
   std::uint32_t depth = static_cast<std::uint32_t>(state.range(0));
-  ProbabilisticInstance left = MakeTree(depth, 4, 1);
-  ProbabilisticInstance right = MakeTree(depth, 4, 2);
+  ProbabilisticInstance left = MakeTree(depth, 4, g_flags.seed + 1);
+  ProbabilisticInstance right = MakeTree(depth, 4, g_flags.seed + 2);
   // Disjoint names: regenerate right with renames via a fresh dictionary.
   std::vector<std::pair<std::string, std::string>> renames;
   for (ObjectId o = 0; o < right.dict().num_objects(); ++o) {
@@ -73,4 +81,11 @@ BENCHMARK(BM_CartesianProductFull)->DenseRange(2, 6, 1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_flags = pxml::bench::ParseBenchFlags(&argc, argv, g_flags);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

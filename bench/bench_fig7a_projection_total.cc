@@ -7,8 +7,11 @@
 
 #include "fig7_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pxml::bench;
+  const BenchFlags flags =
+      ParseBenchFlags(&argc, argv, BenchFlags{/*threads=*/1,
+                                              /*seed=*/20260706});
   std::printf(
       "# Figure 7(a): total ancestor-projection query time\n"
       "# one row per (labeling, branching, depth); times are ms averaged "
@@ -18,7 +21,7 @@ int main() {
       "lab", "b", "d", "objects", "opf_rows", "q", "total_ms", "copy_ms",
       "locate", "struct", "update", "write", "kept");
   for (const SweepPoint& point : Fig7Sweep(/*max_objects=*/310000)) {
-    ProjectionRow row = RunProjectionPoint(point, /*seed=*/20260706);
+    ProjectionRow row = RunProjectionPoint(point, flags.seed);
     std::printf(
         "%-3s %2u %2u %9zu %10zu %4d %10.3f %9.3f %9.3f %9.3f %9.3f %9.3f "
         "%7zu\n",

@@ -6,8 +6,10 @@
 
 #include "fig7_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pxml::bench;
+  const BenchFlags flags =
+      ParseBenchFlags(&argc, argv, BenchFlags{/*threads=*/1, /*seed=*/4242});
   std::printf(
       "# Figure 7(c): total selection query time\n"
       "# copy+locate+update+write; update touches only `depth` objects\n");
@@ -15,7 +17,7 @@ int main() {
               "d", "objects", "opf_rows", "q", "total_ms", "locate",
               "update", "write");
   for (const SweepPoint& point : Fig7Sweep(/*max_objects=*/100000)) {
-    SelectionRow row = RunSelectionPoint(point, /*seed=*/4242);
+    SelectionRow row = RunSelectionPoint(point, flags.seed);
     std::printf("%-3s %2u %2u %9zu %10zu %4d %10.3f %9.3f %9.3f %9.3f\n",
                 SchemeName(point.scheme), point.branching, point.depth,
                 row.objects, row.opf_entries, row.queries, row.total_ms,

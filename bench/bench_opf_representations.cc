@@ -3,25 +3,43 @@
 // materialization — for growing child counts. Explicit tables pay 2^n
 // space for O(log n) lookup; the compact forms store O(n) and answer
 // marginals in O(n), but materializing their table is exponential.
+//
+// Usage: bench_opf_representations [--seed=S] [--threads=N]
+// [gbench flags]. --threads feeds the point-query benchmarks'
+// ParallelOptions (documents here sit below the parallel cutoff, so the
+// serial path usually wins; answers are bit-identical either way).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "fig7_common.h"
 #include "graph/path.h"
 #include "protdb/conversion.h"
 #include "protdb/protdb.h"
 #include "query/point_queries.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace pxml;  // NOLINT
+
+bench::BenchFlags g_flags{/*threads=*/1, /*seed=*/5};
+std::unique_ptr<ThreadPool> g_pool;
+
+ParallelOptions PoolOptions() {
+  ParallelOptions options;
+  options.pool = g_pool.get();
+  return options;
+}
 
 /// A one-level document with n children under two labels.
 ProtdbDocument MakeDoc(int n) {
   ProtdbDocument doc;
   auto root = doc.CreateRoot("r");
   if (!root.ok()) std::abort();
-  Rng rng(5);
+  Rng rng(g_flags.seed);
   for (int i = 0; i < n; ++i) {
     const char* label = (i % 2 == 0) ? "a" : "b";
     if (!doc.AddChild(*root, label, StrCat("c", i), 0.2 + 0.6 * rng.NextDouble())
@@ -90,7 +108,7 @@ void BM_PointQueryByRepresentation(benchmark::State& state) {
   ProtdbDocument doc;
   auto root = doc.CreateRoot("r");
   if (!root.ok()) std::abort();
-  Rng rng(11);
+  Rng rng(g_flags.seed + 6);  // default seed 5 keeps the historic 11
   ObjectId target = kInvalidId;
   for (int i = 0; i < 4; ++i) {
     auto paper = doc.AddChild(*root, "paper", StrCat("p", i), 0.8);
@@ -109,7 +127,7 @@ void BM_PointQueryByRepresentation(benchmark::State& state) {
   path.labels = {*inst->dict().FindLabel("paper"),
                  *inst->dict().FindLabel("author")};
   for (auto _ : state) {
-    auto p = PointQuery(*inst, path, target);
+    auto p = PointQuery(*inst, path, target, PoolOptions());
     if (!p.ok()) std::abort();
     benchmark::DoNotOptimize(*p);
   }
@@ -134,4 +152,13 @@ BENCHMARK(BM_OpfMaterializeTable<OpfRepresentation::kIndependent>)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_flags = pxml::bench::ParseBenchFlags(&argc, argv, g_flags);
+  if (g_flags.threads > 1) g_pool = std::make_unique<ThreadPool>(g_flags.threads);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_pool.reset();
+  return 0;
+}

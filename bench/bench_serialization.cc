@@ -2,8 +2,13 @@
 // instances of growing size. Write time is a first-class cost in the
 // paper's Figure 7 totals (it dominates selection), so the library's
 // storage path deserves its own measurement.
+//
+// Usage: bench_serialization [--seed=S] [--threads=N] [gbench flags]
+// (--threads is accepted for interface uniformity across the bench
+// suite; the serialization path is single-threaded.)
 #include <benchmark/benchmark.h>
 
+#include "fig7_common.h"
 #include "workload/generator.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
@@ -12,11 +17,13 @@ namespace {
 
 using namespace pxml;  // NOLINT
 
+bench::BenchFlags g_flags{/*threads=*/1, /*seed=*/77};
+
 ProbabilisticInstance MakeTree(std::uint32_t depth) {
   GeneratorConfig config;
   config.depth = depth;
   config.branching = 4;
-  config.seed = 77;
+  config.seed = g_flags.seed;
   auto inst = GenerateBalancedTree(config);
   if (!inst.ok()) std::abort();
   return std::move(inst).ValueOrDie();
@@ -69,4 +76,11 @@ BENCHMARK(BM_DeepCopy)->DenseRange(2, 6, 1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_flags = pxml::bench::ParseBenchFlags(&argc, argv, g_flags);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

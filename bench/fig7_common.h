@@ -15,9 +15,12 @@
 // decomposition the paper reports.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "algebra/projection.h"
@@ -68,23 +71,66 @@ inline std::string ScratchPath() {
   return dir + "/pxml_bench_scratch.pxml";
 }
 
-/// Parses a `--threads=N` flag (the only flag the parallel benches
-/// take); returns `default_threads` when absent or malformed.
+/// Flags shared by every bench binary. Each bench fills in its own
+/// defaults (historical hardcoded seeds stay the defaults so published
+/// series remain reproducible by running with no flags).
+struct BenchFlags {
+  std::size_t threads = 1;  ///< --threads=N (N >= 1)
+  std::uint64_t seed = 0;   ///< --seed=S (workload generation)
+  bool cache = true;        ///< --cache=on|off (ε-memo cache)
+};
+
+/// Parses and REMOVES the shared flags (`--threads=N`, `--seed=S`,
+/// `--cache=on|off`) from argv, so google-benchmark binaries can hand
+/// the remaining arguments to `benchmark::Initialize` without tripping
+/// its unknown-flag check. Malformed values warn and keep the default.
+inline BenchFlags ParseBenchFlags(int* argc, char** argv,
+                                  BenchFlags defaults) {
+  BenchFlags flags = defaults;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    bool consumed = false;
+    auto numeric = [&](const char* prefix, auto* slot, bool require_pos) {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) != 0) return false;
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(arg.c_str() + len, &end, 10);
+      if (end != nullptr && *end == '\0' && (!require_pos || v > 0)) {
+        *slot = static_cast<std::remove_pointer_t<decltype(slot)>>(v);
+      } else {
+        std::fprintf(stderr, "ignoring malformed %s\n", arg.c_str());
+      }
+      return true;
+    };
+    consumed = numeric("--threads=", &flags.threads, /*require_pos=*/true) ||
+               numeric("--seed=", &flags.seed, /*require_pos=*/false);
+    if (!consumed && arg.rfind("--cache=", 0) == 0) {
+      const std::string value = arg.substr(std::strlen("--cache="));
+      if (value == "on") {
+        flags.cache = true;
+      } else if (value == "off") {
+        flags.cache = false;
+      } else {
+        std::fprintf(stderr, "ignoring malformed %s (want on|off)\n",
+                     arg.c_str());
+      }
+      consumed = true;
+    }
+    if (!consumed) argv[out++] = argv[i];
+  }
+  *argc = out;
+  return flags;
+}
+
+/// Parses a `--threads=N` flag; returns `default_threads` when absent
+/// or malformed. Thin shim over ParseBenchFlags for benches that only
+/// take the one flag.
 inline std::size_t ParseThreadsFlag(int argc, char** argv,
                                     std::size_t default_threads) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const std::string prefix = "--threads=";
-    if (arg.rfind(prefix, 0) == 0) {
-      char* end = nullptr;
-      unsigned long v = std::strtoul(arg.c_str() + prefix.size(), &end, 10);
-      if (end != nullptr && *end == '\0' && v > 0) {
-        return static_cast<std::size_t>(v);
-      }
-      std::fprintf(stderr, "ignoring malformed %s\n", arg.c_str());
-    }
-  }
-  return default_threads;
+  BenchFlags defaults;
+  defaults.threads = default_threads;
+  return ParseBenchFlags(&argc, argv, defaults).threads;
 }
 
 /// Fails fast on infrastructure errors (generation, I/O).

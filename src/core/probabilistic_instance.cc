@@ -8,7 +8,10 @@ namespace pxml {
 
 ProbabilisticInstance::ProbabilisticInstance(
     const ProbabilisticInstance& other)
-    : weak_(other.weak_) {
+    : weak_(other.weak_),
+      version_(other.version_),
+      structure_version_(other.structure_version_),
+      subtree_change_(other.subtree_change_) {
   opfs_.resize(other.opfs_.size());
   for (std::size_t i = 0; i < other.opfs_.size(); ++i) {
     if (other.opfs_[i]) opfs_[i] = other.opfs_[i]->Clone();
@@ -32,6 +35,22 @@ void ProbabilisticInstance::EnsureSize(ObjectId o) {
   if (o >= vpfs_.size()) vpfs_.resize(o + 1);
 }
 
+void ProbabilisticInstance::NoteLocalChange(ObjectId o) {
+  ++version_;
+  // Stamp o and every potential ancestor with the new version. On a tree
+  // this is one root-ward walk (O(depth)); on a DAG the version guard
+  // makes diamond re-visits O(1).
+  std::vector<ObjectId> stack{o};
+  while (!stack.empty()) {
+    ObjectId x = stack.back();
+    stack.pop_back();
+    if (x >= subtree_change_.size()) subtree_change_.resize(x + 1, 0);
+    if (subtree_change_[x] == version_) continue;
+    subtree_change_[x] = version_;
+    for (ObjectId p : weak_.PotentialParents(x)) stack.push_back(p);
+  }
+}
+
 Status ProbabilisticInstance::SetOpf(ObjectId o, std::unique_ptr<Opf> opf) {
   if (!weak_.Present(o)) {
     return Status::NotFound(StrCat("object id ", o, " not present"));
@@ -41,6 +60,7 @@ Status ProbabilisticInstance::SetOpf(ObjectId o, std::unique_ptr<Opf> opf) {
   }
   EnsureSize(o);
   opfs_[o] = std::move(opf);
+  NoteLocalChange(o);
   return Status::Ok();
 }
 
@@ -50,6 +70,7 @@ Status ProbabilisticInstance::SetVpf(ObjectId o, Vpf vpf) {
   }
   EnsureSize(o);
   vpfs_[o] = std::make_unique<Vpf>(std::move(vpf));
+  NoteLocalChange(o);
   return Status::Ok();
 }
 

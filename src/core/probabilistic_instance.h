@@ -1,6 +1,7 @@
 #ifndef PXML_CORE_PROBABILISTIC_INSTANCE_H_
 #define PXML_CORE_PROBABILISTIC_INSTANCE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,16 @@ namespace pxml {
 ///
 /// Deep-copyable: copying clones every OPF (the benchmark's "copy the
 /// input instance" phase exercises exactly this).
+///
+/// Versioning (for the ε-memo cache, DESIGN.md §8): every mutation that
+/// goes through this API bumps a monotone version counter, and each
+/// SetOpf/SetVpf additionally stamps the changed object *and all of its
+/// potential ancestors* with the new version (per-object dirty tracking —
+/// O(depth) per update on a tree). A cached per-subtree result recorded
+/// at version V for object o is still valid iff SubtreeChangeVersion(o)
+/// <= V. Structural edits obtained through the non-const weak() accessor
+/// cannot be tracked per object, so they conservatively bump a separate
+/// structure_version() that invalidates whole caches.
 class ProbabilisticInstance {
  public:
   ProbabilisticInstance() = default;
@@ -27,7 +38,14 @@ class ProbabilisticInstance {
   ProbabilisticInstance(ProbabilisticInstance&&) = default;
   ProbabilisticInstance& operator=(ProbabilisticInstance&&) = default;
 
-  WeakInstance& weak() { return weak_; }
+  /// Non-const structural access: hands out the weak instance for
+  /// construction/surgery, so it conservatively marks the structure (and
+  /// thus every cache keyed on it) dirty.
+  WeakInstance& weak() {
+    ++version_;
+    ++structure_version_;
+    return weak_;
+  }
   const WeakInstance& weak() const { return weak_; }
 
   Dictionary& dict() { return weak_.dict(); }
@@ -54,6 +72,21 @@ class ProbabilisticInstance {
   /// in a local interpretation" the paper's experiments count).
   std::size_t TotalOpfEntries() const;
 
+  /// Monotone mutation counter: bumped by every SetOpf/SetVpf and every
+  /// non-const weak() access. Two equal versions mean "no mutation went
+  /// through this API in between".
+  std::uint64_t version() const { return version_; }
+
+  /// Bumped whenever the weak structure may have changed (non-const
+  /// weak() access). ℘-only updates (SetOpf/SetVpf) leave it untouched.
+  std::uint64_t structure_version() const { return structure_version_; }
+
+  /// The version at which ℘ last changed anywhere in the potential
+  /// subtree rooted at o (o itself included); 0 if never.
+  std::uint64_t SubtreeChangeVersion(ObjectId o) const {
+    return o < subtree_change_.size() ? subtree_change_[o] : 0;
+  }
+
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 
@@ -62,7 +95,15 @@ class ProbabilisticInstance {
   std::vector<std::unique_ptr<Opf>> opfs_;  // indexed by ObjectId
   std::vector<std::unique_ptr<Vpf>> vpfs_;  // indexed by ObjectId
 
+  std::uint64_t version_ = 0;
+  std::uint64_t structure_version_ = 0;
+  // subtree_change_[o] = version of the latest SetOpf/SetVpf at o or any
+  // of its potential descendants (maintained by an ancestor walk on set).
+  std::vector<std::uint64_t> subtree_change_;
+
   void EnsureSize(ObjectId o);
+  /// Stamps o and all its potential ancestors with a fresh version.
+  void NoteLocalChange(ObjectId o);
 };
 
 }  // namespace pxml

@@ -215,7 +215,7 @@ Result<SemistructuredInstance> WeakInstanceGraph(const WeakInstance& weak) {
 
 Status CheckWeakTree(const WeakInstance& weak) {
   if (!weak.HasRoot()) {
-    return Status::FailedPrecondition("weak instance has no root");
+    return Status::NotATree("weak instance has no root");
   }
   PXML_ASSIGN_OR_RETURN(SemistructuredInstance graph,
                         WeakInstanceGraph(weak));
@@ -225,7 +225,7 @@ Status CheckWeakTree(const WeakInstance& weak) {
 Result<std::vector<IdSet>> WeakPathLayers(const WeakInstance& weak,
                                           const PathExpression& path) {
   if (!weak.Present(path.start)) {
-    return Status::NotFound(
+    return Status::UnknownObject(
         StrCat("path start object id ", path.start, " not present"));
   }
   std::vector<IdSet> layers;

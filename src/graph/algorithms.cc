@@ -69,23 +69,23 @@ IdSet NonDescendantsOf(const SemistructuredInstance& instance, ObjectId o) {
 
 Status CheckTree(const SemistructuredInstance& instance) {
   if (!instance.HasRoot()) {
-    return Status::FailedPrecondition("instance has no root");
+    return Status::NotATree("instance has no root");
   }
   for (ObjectId o : instance.Objects()) {
     std::size_t parents = instance.Parents(o).size();
     if (o == instance.root()) {
       if (parents != 0) {
-        return Status::FailedPrecondition("root has a parent");
+        return Status::NotATree("root has a parent");
       }
     } else if (parents != 1) {
-      return Status::FailedPrecondition(
+      return Status::NotATree(
           StrCat("object '", instance.dict().ObjectName(o), "' has ",
                  parents, " parents; a tree requires exactly 1"));
     }
   }
   if (ReachableFrom(instance, instance.root()).size() !=
       instance.num_objects()) {
-    return Status::FailedPrecondition(
+    return Status::NotATree(
         "not all objects are reachable from the root");
   }
   return Status::Ok();

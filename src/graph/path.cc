@@ -24,7 +24,7 @@ Result<IdSet> EvaluatePath(const SemistructuredInstance& instance,
 Result<std::vector<IdSet>> PathLayers(const SemistructuredInstance& instance,
                                       const PathExpression& path) {
   if (!instance.Present(path.start)) {
-    return Status::NotFound(
+    return Status::UnknownObject(
         StrCat("path start object id ", path.start, " not in instance"));
   }
   std::vector<IdSet> layers;

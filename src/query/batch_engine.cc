@@ -1,194 +1,20 @@
 #include "query/batch_engine.h"
 
-#include <chrono>
-#include <ctime>
-#include <thread>
-#include <utility>
-
-#include "query/point_queries.h"
-
 namespace pxml {
 
 namespace {
 
-/// Process CPU seconds across all threads (CLOCK_PROCESS_CPUTIME_ID).
-double ProcessCpuSeconds() {
-  timespec ts;
-  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
-  return static_cast<double>(ts.tv_sec) +
-         static_cast<double>(ts.tv_nsec) * 1e-9;
+/// Wrapper mode: borrow the caller's instance and keep the historical
+/// stateless behavior — no ε-memo cache survives between batches.
+BatchOptions WrapperOptions(BatchOptions options) {
+  options.cache = false;
+  return options;
 }
 
 }  // namespace
 
-BatchQuery BatchQuery::Point(PathExpression p, ObjectId o) {
-  BatchQuery q;
-  q.kind = Kind::kPoint;
-  q.path = std::move(p);
-  q.object = o;
-  return q;
-}
-
-BatchQuery BatchQuery::Exists(PathExpression p) {
-  BatchQuery q;
-  q.kind = Kind::kExists;
-  q.path = std::move(p);
-  return q;
-}
-
-BatchQuery BatchQuery::ValueEquals(PathExpression p, Value v) {
-  BatchQuery q;
-  q.kind = Kind::kValue;
-  q.path = std::move(p);
-  q.value = std::move(v);
-  return q;
-}
-
-BatchQuery BatchQuery::Condition(SelectionCondition c) {
-  BatchQuery q;
-  q.kind = Kind::kCondition;
-  q.condition = std::move(c);
-  return q;
-}
-
-BatchQuery BatchQuery::AncestorProjection(PathExpression p) {
-  BatchQuery q;
-  q.kind = Kind::kAncestorProject;
-  q.path = std::move(p);
-  return q;
-}
-
 BatchQueryEngine::BatchQueryEngine(const ProbabilisticInstance& instance,
                                    BatchOptions options)
-    : instance_(instance), options_(options) {
-  if (options_.threads == 0) {
-    options_.threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  if (options_.threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.threads);
-  }
-}
-
-BatchQueryEngine::~BatchQueryEngine() = default;
-
-std::size_t BatchQueryEngine::threads() const {
-  return pool_ != nullptr ? pool_->num_threads() : 1;
-}
-
-BatchAnswer BatchQueryEngine::RunOne(
-    const BatchQuery& query, ProjectionStats* projection_stats) const {
-  ParallelOptions parallel;
-  parallel.pool = pool_.get();
-  parallel.min_parallel_width = options_.min_parallel_width;
-
-  BatchAnswer answer;
-  switch (query.kind) {
-    case BatchQuery::Kind::kPoint: {
-      Result<double> p =
-          PointQuery(instance_, query.path, query.object, parallel);
-      if (p.ok()) {
-        answer.probability = *p;
-      } else {
-        answer.status = p.status();
-      }
-      break;
-    }
-    case BatchQuery::Kind::kExists: {
-      Result<double> p = ExistsQuery(instance_, query.path, parallel);
-      if (p.ok()) {
-        answer.probability = *p;
-      } else {
-        answer.status = p.status();
-      }
-      break;
-    }
-    case BatchQuery::Kind::kValue: {
-      Result<double> p =
-          ValueQuery(instance_, query.path, query.value, parallel);
-      if (p.ok()) {
-        answer.probability = *p;
-      } else {
-        answer.status = p.status();
-      }
-      break;
-    }
-    case BatchQuery::Kind::kCondition: {
-      Result<double> p =
-          ConditionProbability(instance_, query.condition, parallel);
-      if (p.ok()) {
-        answer.probability = *p;
-      } else {
-        answer.status = p.status();
-      }
-      break;
-    }
-    case BatchQuery::Kind::kAncestorProject: {
-      Result<ProbabilisticInstance> projected =
-          AncestorProject(instance_, query.path, projection_stats, parallel);
-      if (projected.ok()) {
-        answer.projection = std::move(projected).ValueOrDie();
-      } else {
-        answer.status = projected.status();
-      }
-      break;
-    }
-  }
-  return answer;
-}
-
-Result<std::vector<BatchAnswer>> BatchQueryEngine::Run(
-    const std::vector<BatchQuery>& queries, BatchStats* stats) const {
-  const auto wall0 = std::chrono::steady_clock::now();
-  const double cpu0 = ProcessCpuSeconds();
-  const ThreadPool::Stats pool0 =
-      pool_ != nullptr ? pool_->stats() : ThreadPool::Stats{};
-  // tasks/steals are differenced against pool0 below; the queue-depth
-  // high-water mark cannot be, so restart it for this batch.
-  if (pool_ != nullptr) pool_->ResetMaxQueueDepth();
-
-  std::vector<BatchAnswer> answers(queries.size());
-  // Projection phase stats are accumulated per query slot and merged
-  // sequentially below, keeping the parallel path free of shared counters.
-  std::vector<ProjectionStats> projection_stats(queries.size());
-
-  if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      answers[i] = RunOne(queries[i], &projection_stats[i]);
-    }
-  } else {
-    TaskGroup group(pool_.get());
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      group.Run([this, &queries, &answers, &projection_stats, i] {
-        answers[i] = RunOne(queries[i], &projection_stats[i]);
-      });
-    }
-    group.Wait();
-  }
-
-  if (stats != nullptr) {
-    *stats = BatchStats{};
-    for (const ProjectionStats& ps : projection_stats) {
-      stats->locate_seconds += ps.locate_seconds;
-      stats->structure_seconds += ps.structure_seconds;
-      stats->update_seconds += ps.update_seconds;
-      stats->kept_objects += ps.kept_objects;
-      stats->processed_entries += ps.processed_entries;
-    }
-    stats->threads = threads();
-    if (pool_ != nullptr) {
-      const ThreadPool::Stats pool1 = pool_->stats();
-      stats->tasks =
-          static_cast<std::size_t>(pool1.tasks_executed - pool0.tasks_executed);
-      stats->steal_count =
-          static_cast<std::size_t>(pool1.steals - pool0.steals);
-      stats->max_queue_depth = pool1.max_queue_depth;
-    }
-    stats->wall_seconds = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - wall0)
-                              .count();
-    stats->cpu_seconds = ProcessCpuSeconds() - cpu0;
-  }
-  return answers;
-}
+    : engine_(&instance, WrapperOptions(options)) {}
 
 }  // namespace pxml

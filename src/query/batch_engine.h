@@ -2,128 +2,49 @@
 #define PXML_QUERY_BATCH_ENGINE_H_
 
 #include <cstddef>
-#include <memory>
-#include <optional>
 #include <vector>
 
-#include "algebra/projection.h"
-#include "algebra/selection_global.h"
 #include "core/probabilistic_instance.h"
-#include "graph/path.h"
-#include "prob/value.h"
+#include "query/engine.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace pxml {
 
-/// Configuration of a BatchQueryEngine.
-struct BatchOptions {
-  /// Worker threads; 0 picks std::thread::hardware_concurrency(), and 1
-  /// runs the serial path with no pool at all (bit-for-bit the historical
-  /// single-threaded implementation).
-  std::size_t threads = 0;
-  /// Pruned-layer width from which the intra-query ε/marginalisation
-  /// passes are partitioned over subtrees (see ParallelOptions). Lower it
-  /// to force intra-query parallelism on small instances (tests do).
-  std::size_t min_parallel_width = 32;
-};
-
-/// Per-batch counters, extending the per-projection phase breakdown with
-/// the pool-side numbers (the projection phases accumulate over every
-/// projection query in the batch).
-struct BatchStats : ProjectionStats {
-  /// Worker threads the batch ran on (1 = serial path).
-  std::size_t threads = 1;
-  /// Pool tasks executed on behalf of this batch (per-query tasks plus
-  /// intra-query partition chunks).
-  std::size_t tasks = 0;
-  /// Tasks taken from another worker's deque during the batch.
-  std::size_t steal_count = 0;
-  /// Deepest any pool queue got while the batch ran.
-  std::size_t max_queue_depth = 0;
-  /// End-to-end batch latency.
-  double wall_seconds = 0.0;
-  /// Process CPU time consumed during the batch (all threads).
-  double cpu_seconds = 0.0;
-};
-
-/// One query of a batch: the Section-6.2 point/exists/value queries, a
-/// general condition probability, or an ancestor projection.
-struct BatchQuery {
-  enum class Kind { kPoint, kExists, kValue, kCondition, kAncestorProject };
-
-  Kind kind = Kind::kExists;
-  PathExpression path;
-  ObjectId object = kInvalidId;  // kPoint
-  Value value;                   // kValue
-  SelectionCondition condition;  // kCondition
-
-  /// P(o ∈ p).
-  static BatchQuery Point(PathExpression p, ObjectId o);
-  /// P(∃ o: o ∈ p).
-  static BatchQuery Exists(PathExpression p);
-  /// P(∃ o ∈ p with val(o) = v).
-  static BatchQuery ValueEquals(PathExpression p, Value v);
-  /// P(condition) for any SelectionCondition kind.
-  static BatchQuery Condition(SelectionCondition c);
-  /// Ancestor projection Λ_p (result carried in BatchAnswer::projection).
-  static BatchQuery AncestorProjection(PathExpression p);
-};
-
-/// The answer to one BatchQuery. `status` is per-query: one failing query
-/// does not poison the rest of the batch.
-struct BatchAnswer {
-  Status status;
-  /// The query probability; meaningful for the probability kinds when
-  /// status is OK.
-  double probability = 0.0;
-  /// The projected instance for kAncestorProject when status is OK.
-  std::optional<ProbabilisticInstance> projection;
-};
-
-/// Evaluates batches of queries over one probabilistic instance
-/// concurrently: per-query parallelism via a work-stealing pool, plus
-/// intra-query parallelism by partitioning the bottom-up ε-propagation
-/// and OPF-marginalisation passes over independent subtrees (the merge at
-/// the root stays sequential).
+/// The historical batch-query entry point, now a thin wrapper over a
+/// QueryEngine in borrowing (query-only, uncached) mode: same
+/// constructor, same Run() signature, same bit-identical deterministic
+/// answers. BatchOptions / BatchStats / BatchQuery / BatchAnswer live in
+/// query/engine.h and are re-exported through this header.
 ///
-/// Deterministic by construction: answers land in input order, and every
-/// per-object floating-point accumulation is sequential over finalized
-/// child values, so results are bit-identical across runs, schedules and
-/// thread counts — including the threads=1 serial path (verified by the
-/// property tests at 1/2/4/8 threads).
+/// New code should construct a QueryEngine directly — it adds the ε-memo
+/// cache and the mutation API (UpdateOpf / UpdateVpf / ReplaceSubtree)
+/// with precise invalidation; this wrapper stays for call sites that
+/// only ever run stateless batches over an instance they own.
 ///
-/// Thread-safety contract: the engine only ever touches the instance
-/// through const methods, and the core containers (WeakInstance,
-/// ProbabilisticInstance, Opf/Vpf, Dictionary) have no lazily
-/// materialized mutable state, so any number of queries may share the
-/// instance. The instance must outlive the engine and must not be
-/// mutated while a batch runs.
+/// Thread-safety contract (unchanged): the engine only ever touches the
+/// instance through const methods; the instance must outlive the engine
+/// and must not be mutated while a batch runs.
 class BatchQueryEngine {
  public:
   explicit BatchQueryEngine(const ProbabilisticInstance& instance,
                             BatchOptions options = {});
-  ~BatchQueryEngine();
 
   BatchQueryEngine(const BatchQueryEngine&) = delete;
   BatchQueryEngine& operator=(const BatchQueryEngine&) = delete;
 
   /// Worker threads actually in use (1 = serial path, no pool).
-  std::size_t threads() const;
+  std::size_t threads() const { return engine_.threads(); }
 
   /// Evaluates the whole batch; answers[i] corresponds to queries[i].
   /// The returned status is only non-OK for engine-level failures;
   /// per-query failures are reported in each BatchAnswer.
   Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
-                                       BatchStats* stats = nullptr) const;
+                                       BatchStats* stats = nullptr) const {
+    return engine_.Run(queries, stats);
+  }
 
  private:
-  BatchAnswer RunOne(const BatchQuery& query,
-                     ProjectionStats* projection_stats) const;
-
-  const ProbabilisticInstance& instance_;
-  BatchOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // null when threads() == 1
+  QueryEngine engine_;
 };
 
 }  // namespace pxml

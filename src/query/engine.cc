@@ -1,0 +1,450 @@
+#include "query/engine.h"
+
+#include <chrono>
+#include <ctime>
+#include <thread>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// Process CPU seconds across all threads (CLOCK_PROCESS_CPUTIME_ID).
+double ProcessCpuSeconds() {
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+Status StaleStatus() {
+  return Status::Stale("a mutation is in progress on this engine");
+}
+
+}  // namespace
+
+BatchQuery BatchQuery::Point(PathExpression p, ObjectId o) {
+  BatchQuery q;
+  q.kind = Kind::kPoint;
+  q.path = std::move(p);
+  q.object = o;
+  return q;
+}
+
+BatchQuery BatchQuery::Exists(PathExpression p) {
+  BatchQuery q;
+  q.kind = Kind::kExists;
+  q.path = std::move(p);
+  return q;
+}
+
+BatchQuery BatchQuery::ValueEquals(PathExpression p, Value v) {
+  BatchQuery q;
+  q.kind = Kind::kValue;
+  q.path = std::move(p);
+  q.value = std::move(v);
+  return q;
+}
+
+BatchQuery BatchQuery::Condition(SelectionCondition c) {
+  BatchQuery q;
+  q.kind = Kind::kCondition;
+  q.condition = std::move(c);
+  return q;
+}
+
+BatchQuery BatchQuery::AncestorProjection(PathExpression p) {
+  BatchQuery q;
+  q.kind = Kind::kAncestorProject;
+  q.path = std::move(p);
+  return q;
+}
+
+QueryEngine::QueryEngine(ProbabilisticInstance instance, BatchOptions options)
+    : options_(options),
+      owned_(std::make_unique<ProbabilisticInstance>(std::move(instance))),
+      instance_(owned_.get()) {
+  if (options_.threads == 0) {
+    options_.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  if (options_.cache) {
+    cache_ = std::make_unique<EpsilonMemoCache>(options_.cache_capacity);
+  }
+}
+
+QueryEngine::QueryEngine(const ProbabilisticInstance* instance,
+                         BatchOptions options)
+    : options_(options), instance_(instance) {
+  if (options_.threads == 0) {
+    options_.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  if (options_.cache) {
+    cache_ = std::make_unique<EpsilonMemoCache>(options_.cache_capacity);
+  }
+}
+
+QueryEngine::~QueryEngine() = default;
+
+std::size_t QueryEngine::threads() const {
+  return pool_ != nullptr ? pool_->num_threads() : 1;
+}
+
+EpsilonMemoCache::Stats QueryEngine::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : EpsilonMemoCache::Stats{};
+}
+
+std::size_t QueryEngine::cache_size() const {
+  return cache_ != nullptr ? cache_->size() : 0;
+}
+
+BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
+                                ProjectionStats* projection_stats,
+                                const EpsilonHooks& hooks) const {
+  ParallelOptions parallel;
+  parallel.pool = pool_.get();
+  parallel.min_parallel_width = options_.min_parallel_width;
+
+  BatchAnswer answer;
+  switch (query.kind) {
+    case BatchQuery::Kind::kPoint: {
+      Result<double> p =
+          PointQuery(*instance_, query.path, query.object, parallel, hooks);
+      if (p.ok()) {
+        answer.probability = *p;
+      } else {
+        answer.status = p.status();
+      }
+      break;
+    }
+    case BatchQuery::Kind::kExists: {
+      Result<double> p = ExistsQuery(*instance_, query.path, parallel, hooks);
+      if (p.ok()) {
+        answer.probability = *p;
+      } else {
+        answer.status = p.status();
+      }
+      break;
+    }
+    case BatchQuery::Kind::kValue: {
+      Result<double> p =
+          ValueQuery(*instance_, query.path, query.value, parallel, hooks);
+      if (p.ok()) {
+        answer.probability = *p;
+      } else {
+        answer.status = p.status();
+      }
+      break;
+    }
+    case BatchQuery::Kind::kCondition: {
+      Result<double> p = pxml::ConditionProbability(*instance_, query.condition,
+                                                    parallel, hooks);
+      if (p.ok()) {
+        answer.probability = *p;
+      } else {
+        answer.status = p.status();
+      }
+      break;
+    }
+    case BatchQuery::Kind::kAncestorProject: {
+      Result<ProbabilisticInstance> projected =
+          AncestorProject(*instance_, query.path, projection_stats, parallel);
+      if (projected.ok()) {
+        answer.projection = std::move(projected).ValueOrDie();
+      } else {
+        answer.status = projected.status();
+      }
+      break;
+    }
+  }
+  return answer;
+}
+
+Result<std::vector<BatchAnswer>> QueryEngine::Run(
+    const std::vector<BatchQuery>& queries, BatchStats* stats) const {
+  if (mutators_.load(std::memory_order_acquire) > 0) {
+    // Fail fast instead of blocking behind the writer (and instead of
+    // self-deadlocking when the guard's own thread queries).
+    std::vector<BatchAnswer> answers(queries.size());
+    for (BatchAnswer& a : answers) a.status = StaleStatus();
+    if (stats != nullptr) {
+      *stats = BatchStats{};
+      stats->threads = threads();
+    }
+    return answers;
+  }
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  const double cpu0 = ProcessCpuSeconds();
+  const ThreadPool::Stats pool0 =
+      pool_ != nullptr ? pool_->stats() : ThreadPool::Stats{};
+  const EpsilonMemoCache::Stats cache0 = cache_stats();
+  // tasks/steals are differenced against pool0 below; the queue-depth
+  // high-water mark cannot be, so restart it for this batch.
+  if (pool_ != nullptr) pool_->ResetMaxQueueDepth();
+
+  // ε counters for this batch, shared by every query (atomic; exact).
+  EpsilonStats eps_stats;
+  const EpsilonHooks hooks = Hooks(&eps_stats);
+
+  std::vector<BatchAnswer> answers(queries.size());
+  // Projection phase stats are accumulated per query slot and merged
+  // sequentially below, keeping the parallel path free of shared counters.
+  std::vector<ProjectionStats> projection_stats(queries.size());
+
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      answers[i] = RunOne(queries[i], &projection_stats[i], hooks);
+    }
+  } else {
+    TaskGroup group(pool_.get());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      group.Run([this, &queries, &answers, &projection_stats, &hooks, i] {
+        answers[i] = RunOne(queries[i], &projection_stats[i], hooks);
+      });
+    }
+    group.Wait();
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    for (const ProjectionStats& ps : projection_stats) {
+      stats->locate_seconds += ps.locate_seconds;
+      stats->structure_seconds += ps.structure_seconds;
+      stats->update_seconds += ps.update_seconds;
+      stats->kept_objects += ps.kept_objects;
+      stats->processed_entries += ps.processed_entries;
+    }
+    stats->threads = threads();
+    if (pool_ != nullptr) {
+      const ThreadPool::Stats pool1 = pool_->stats();
+      stats->tasks =
+          static_cast<std::size_t>(pool1.tasks_executed - pool0.tasks_executed);
+      stats->steal_count =
+          static_cast<std::size_t>(pool1.steals - pool0.steals);
+      stats->max_queue_depth = pool1.max_queue_depth;
+    }
+    stats->epsilon_recomputed =
+        eps_stats.recomputed.load(std::memory_order_relaxed);
+    stats->cache_lookups =
+        eps_stats.cache_lookups.load(std::memory_order_relaxed);
+    stats->cache_hits = eps_stats.cache_hits.load(std::memory_order_relaxed);
+    stats->cache_misses = stats->cache_lookups - stats->cache_hits;
+    const EpsilonMemoCache::Stats cache1 = cache_stats();
+    stats->cache_invalidated = cache1.invalidated - cache0.invalidated;
+    stats->cache_evictions = cache1.evictions - cache0.evictions;
+    stats->wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall0)
+                              .count();
+    stats->cpu_seconds = ProcessCpuSeconds() - cpu0;
+  }
+  return answers;
+}
+
+Result<double> QueryEngine::PointProbability(const PathExpression& path,
+                                             ObjectId object) const {
+  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
+  return PointQuery(*instance_, path, object, parallel, Hooks(nullptr));
+}
+
+Result<double> QueryEngine::ExistsProbability(
+    const PathExpression& path) const {
+  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
+  return ExistsQuery(*instance_, path, parallel, Hooks(nullptr));
+}
+
+Result<double> QueryEngine::ValueProbability(const PathExpression& path,
+                                             const Value& value) const {
+  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
+  return ValueQuery(*instance_, path, value, parallel, Hooks(nullptr));
+}
+
+Result<double> QueryEngine::ConditionProbability(
+    const SelectionCondition& cond) const {
+  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
+  return pxml::ConditionProbability(*instance_, cond, parallel, Hooks(nullptr));
+}
+
+QueryEngine::MutationGuard::MutationGuard(QueryEngine* engine)
+    : engine_(engine) {
+  // Raise the stale flag before contending for the lock: queries issued
+  // from now on fail fast instead of sneaking in ahead of the writer.
+  engine_->mutators_.fetch_add(1, std::memory_order_acq_rel);
+  lock_ = std::unique_lock<std::shared_mutex>(engine_->mu_);
+}
+
+QueryEngine::MutationGuard::MutationGuard(MutationGuard&& other) noexcept
+    : engine_(other.engine_), lock_(std::move(other.lock_)) {
+  other.engine_ = nullptr;
+}
+
+QueryEngine::MutationGuard::~MutationGuard() {
+  if (engine_ == nullptr) return;
+  lock_.unlock();
+  engine_->mutators_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Status QueryEngine::MutationGuard::UpdateOpf(ObjectId o,
+                                             std::unique_ptr<Opf> opf) {
+  ProbabilisticInstance* target = engine_->mutable_instance();
+  if (target == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation on a query-only (borrowing) engine");
+  }
+  // Const structural access: Present() must not trip the conservative
+  // structure-version cache flush reserved for real structural surgery.
+  if (!std::as_const(*target).weak().Present(o)) {
+    return Status::UnknownObject(StrCat("object id ", o, " not present"));
+  }
+  return target->SetOpf(o, std::move(opf));
+}
+
+Status QueryEngine::MutationGuard::UpdateVpf(ObjectId o, Vpf vpf) {
+  ProbabilisticInstance* target = engine_->mutable_instance();
+  if (target == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation on a query-only (borrowing) engine");
+  }
+  // Const structural access: Present() must not trip the conservative
+  // structure-version cache flush reserved for real structural surgery.
+  if (!std::as_const(*target).weak().Present(o)) {
+    return Status::UnknownObject(StrCat("object id ", o, " not present"));
+  }
+  return target->SetVpf(o, std::move(vpf));
+}
+
+Status QueryEngine::MutationGuard::ReplaceSubtree(
+    ObjectId at, const ProbabilisticInstance& donor, ObjectId donor_root) {
+  ProbabilisticInstance* target = engine_->mutable_instance();
+  if (target == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation on a query-only (borrowing) engine");
+  }
+  // Const structural access throughout: ReplaceSubtree only rewrites ℘,
+  // so it must not trip the conservative structure-version flush.
+  const WeakInstance& tw = std::as_const(*target).weak();
+  const WeakInstance& dw = donor.weak();
+  if (!tw.Present(at)) {
+    return Status::UnknownObject(StrCat("object id ", at, " not present"));
+  }
+  if (!dw.Present(donor_root)) {
+    return Status::UnknownObject(
+        StrCat("donor object id ", donor_root, " not present in donor"));
+  }
+
+  // Phase 1: match the two subtrees top-down by object name and edge
+  // labels, building the donor-id -> target-id mapping the OPF remap
+  // needs. Nothing is written until the whole match succeeds.
+  std::vector<std::pair<ObjectId, ObjectId>> matched;  // (target, donor)
+  std::vector<ObjectId> id_map(dw.dict().num_objects(), kInvalidId);
+  std::vector<std::pair<ObjectId, ObjectId>> stack{{at, donor_root}};
+  while (!stack.empty()) {
+    const auto [t, d] = stack.back();
+    stack.pop_back();
+    const std::string& tname = tw.dict().ObjectName(t);
+    const std::string& dname = dw.dict().ObjectName(d);
+    if (tname != dname) {
+      return Status::InvalidArgument(StrCat(
+          "subtree mismatch: object '", tname, "' vs donor '", dname, "'"));
+    }
+    id_map[d] = t;
+    matched.emplace_back(t, d);
+    const std::vector<LabelId> dlabels = dw.LabelsOf(d);
+    const std::vector<LabelId> tlabels = tw.LabelsOf(t);
+    if (dlabels.size() != tlabels.size()) {
+      return Status::InvalidArgument(
+          StrCat("subtree mismatch at '", tname, "': ", tlabels.size(),
+                 " labels vs donor's ", dlabels.size()));
+    }
+    for (LabelId dl : dlabels) {
+      const std::string& lname = dw.dict().LabelName(dl);
+      std::optional<LabelId> tl = tw.dict().FindLabel(lname);
+      if (!tl.has_value() || tw.Lch(t, *tl).empty()) {
+        return Status::InvalidArgument(StrCat("subtree mismatch at '", tname,
+                                              "': no label '", lname, "'"));
+      }
+      const IdSet& dchildren = dw.Lch(d, dl);
+      const IdSet& tchildren = tw.Lch(t, *tl);
+      if (dchildren.size() != tchildren.size()) {
+        return Status::InvalidArgument(
+            StrCat("subtree mismatch at '", tname, "' label '", lname, "': ",
+                   tchildren.size(), " children vs donor's ",
+                   dchildren.size()));
+      }
+      for (ObjectId dc : dchildren) {
+        const std::string& cname = dw.dict().ObjectName(dc);
+        ObjectId tc = kInvalidId;
+        for (ObjectId cand : tchildren) {
+          if (tw.dict().ObjectName(cand) == cname) {
+            tc = cand;
+            break;
+          }
+        }
+        if (tc == kInvalidId) {
+          return Status::InvalidArgument(
+              StrCat("subtree mismatch at '", tname, "' label '", lname,
+                     "': no child named '", cname, "'"));
+        }
+        stack.emplace_back(tc, dc);
+      }
+    }
+  }
+
+  // Donor labels resolved by name into the target dictionary (kInvalidId
+  // where absent — only reachable by an OPF naming a label outside the
+  // matched shape, which Remap would then surface).
+  std::vector<LabelId> label_map(dw.dict().num_labels(), kInvalidId);
+  for (LabelId l = 0; l < label_map.size(); ++l) {
+    if (std::optional<LabelId> tl = tw.dict().FindLabel(dw.dict().LabelName(l))) {
+      label_map[l] = *tl;
+    }
+  }
+
+  // Phase 2: graft ℘. Matched objects with no donor OPF/VPF keep their
+  // existing local interpretation.
+  for (const auto& [t, d] : matched) {
+    if (const Opf* opf = donor.GetOpf(d)) {
+      PXML_RETURN_IF_ERROR(target->SetOpf(t, opf->Remap(id_map, &label_map)));
+    }
+    if (const Vpf* vpf = donor.GetVpf(d)) {
+      PXML_RETURN_IF_ERROR(target->SetVpf(t, *vpf));
+    }
+  }
+  return Status::Ok();
+}
+
+QueryEngine::MutationGuard QueryEngine::BeginMutations() {
+  return MutationGuard(this);
+}
+
+Status QueryEngine::UpdateOpf(ObjectId o, std::unique_ptr<Opf> opf) {
+  return BeginMutations().UpdateOpf(o, std::move(opf));
+}
+
+Status QueryEngine::UpdateVpf(ObjectId o, Vpf vpf) {
+  return BeginMutations().UpdateVpf(o, std::move(vpf));
+}
+
+Status QueryEngine::ReplaceSubtree(ObjectId at,
+                                   const ProbabilisticInstance& donor,
+                                   ObjectId donor_root) {
+  return BeginMutations().ReplaceSubtree(at, donor, donor_root);
+}
+
+}  // namespace pxml

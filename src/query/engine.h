@@ -1,0 +1,263 @@
+#ifndef PXML_QUERY_ENGINE_H_
+#define PXML_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "algebra/projection.h"
+#include "algebra/selection_global.h"
+#include "core/probabilistic_instance.h"
+#include "graph/path.h"
+#include "prob/value.h"
+#include "query/epsilon_cache.h"
+#include "query/point_queries.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pxml {
+
+/// Configuration of a QueryEngine (and of the thin BatchQueryEngine
+/// wrapper, which predates it).
+struct BatchOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency(), and 1
+  /// runs the serial path with no pool at all (bit-for-bit the historical
+  /// single-threaded implementation).
+  std::size_t threads = 0;
+  /// Pruned-layer width from which the intra-query ε/marginalisation
+  /// passes are partitioned over subtrees (see ParallelOptions). Lower it
+  /// to force intra-query parallelism on small instances (tests do).
+  std::size_t min_parallel_width = 32;
+  /// ε-memo cache switch. With the cache on, per-object ε values are
+  /// memoized across queries and after a local ℘ update only the dirty
+  /// spine recomputes; cached answers are bit-identical to uncached ones
+  /// (see EpsilonMemoCache). The BatchQueryEngine wrapper forces this off
+  /// to preserve its historical stateless behavior.
+  bool cache = true;
+  /// LRU bound on the ε-memo cache (entries).
+  std::size_t cache_capacity = EpsilonMemoCache::kDefaultCapacity;
+};
+
+/// Per-batch counters, extending the per-projection phase breakdown with
+/// the pool-side numbers (the projection phases accumulate over every
+/// projection query in the batch) and the ε-memo cache activity.
+struct BatchStats : ProjectionStats {
+  /// Worker threads the batch ran on (1 = serial path).
+  std::size_t threads = 1;
+  /// Pool tasks executed on behalf of this batch (per-query tasks plus
+  /// intra-query partition chunks).
+  std::size_t tasks = 0;
+  /// Tasks taken from another worker's deque during the batch.
+  std::size_t steal_count = 0;
+  /// Deepest any pool queue got while the batch ran.
+  std::size_t max_queue_depth = 0;
+  /// End-to-end batch latency.
+  double wall_seconds = 0.0;
+  /// Process CPU time consumed during the batch (all threads).
+  double cpu_seconds = 0.0;
+
+  /// Per-object ε evaluations actually performed during the batch. This
+  /// is the operation count the incremental-update experiments assert on:
+  /// after one local OPF update, a cached re-query recomputes only the
+  /// dirty spine (O(depth)) instead of every path ancestor.
+  std::uint64_t epsilon_recomputed = 0;
+  /// ε-memo lookups attempted / served / not found during the batch
+  /// (cache_misses includes version-stale entries; all 0 with the cache
+  /// off).
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Lookups that found an entry but rejected it as version-stale (a ℘
+  /// update had touched the subtree). Counted at the shared cache, so
+  /// overlapping concurrent batches may misattribute these between each
+  /// other; the three counters above are tallied per batch and exact.
+  std::uint64_t cache_invalidated = 0;
+  /// LRU evictions at the shared cache while the batch ran.
+  std::uint64_t cache_evictions = 0;
+};
+
+/// One query of a batch: the Section-6.2 point/exists/value queries, a
+/// general condition probability, or an ancestor projection.
+struct BatchQuery {
+  enum class Kind { kPoint, kExists, kValue, kCondition, kAncestorProject };
+
+  Kind kind = Kind::kExists;
+  PathExpression path;
+  ObjectId object = kInvalidId;  // kPoint
+  Value value;                   // kValue
+  SelectionCondition condition;  // kCondition
+
+  /// P(o ∈ p).
+  static BatchQuery Point(PathExpression p, ObjectId o);
+  /// P(∃ o: o ∈ p).
+  static BatchQuery Exists(PathExpression p);
+  /// P(∃ o ∈ p with val(o) = v).
+  static BatchQuery ValueEquals(PathExpression p, Value v);
+  /// P(condition) for any SelectionCondition kind.
+  static BatchQuery Condition(SelectionCondition c);
+  /// Ancestor projection Λ_p (result carried in BatchAnswer::projection).
+  static BatchQuery AncestorProjection(PathExpression p);
+};
+
+/// The answer to one BatchQuery. `status` is per-query: one failing query
+/// does not poison the rest of the batch.
+struct BatchAnswer {
+  Status status;
+  /// The query probability; meaningful for the probability kinds when
+  /// status is OK.
+  double probability = 0.0;
+  /// The projected instance for kAncestorProject when status is OK.
+  std::optional<ProbabilisticInstance> projection;
+};
+
+/// The unified query facade: owns (or borrows) a probabilistic instance
+/// together with the work-stealing thread pool and the ε-memo cache, and
+/// mediates every query and every mutation so the cache stays precisely
+/// invalidated.
+///
+/// Two modes:
+///  - *Owning* (construct from a ProbabilisticInstance by value): the
+///    engine is the only writer, so the mutation API (UpdateOpf /
+///    UpdateVpf / ReplaceSubtree / BeginMutations) is available and every
+///    update flows through the instance's version bookkeeping.
+///  - *Borrowing* (construct from a const pointer): query-only; mutation
+///    calls return FailedPrecondition. This is what the legacy
+///    BatchQueryEngine wrapper uses.
+///
+/// Concurrency contract: queries take a shared lock and mutations an
+/// exclusive lock on one engine-level rwlock. Queries never block on a
+/// mutation in progress — a query that observes an active mutation (or
+/// an open MutationGuard) fails fast with StatusCode::kStale, so callers
+/// can retry once the writer is done. Mutations block until in-flight
+/// queries drain.
+///
+/// Determinism: with or without the cache, at any thread count, answers
+/// are bit-identical — cache hits return exactly the double a
+/// recomputation would produce, and every floating-point accumulation is
+/// sequential per object (see EpsilonPropagator). Only the counters in
+/// BatchStats are schedule-dependent.
+class QueryEngine {
+ public:
+  /// Owning mode: the engine takes the instance (move it in) and exposes
+  /// the mutation API.
+  explicit QueryEngine(ProbabilisticInstance instance,
+                       BatchOptions options = {});
+  /// Borrowing, query-only mode: `instance` must outlive the engine and
+  /// must not be mutated behind the engine's back while queries run.
+  explicit QueryEngine(const ProbabilisticInstance* instance,
+                       BatchOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Worker threads actually in use (1 = serial path, no pool).
+  std::size_t threads() const;
+
+  /// The instance queries run against. In owning mode this reflects all
+  /// mutations applied so far.
+  const ProbabilisticInstance& instance() const { return *instance_; }
+
+  bool owns_instance() const { return owned_ != nullptr; }
+
+  /// Lifetime ε-memo cache counters (zeroes with the cache off).
+  EpsilonMemoCache::Stats cache_stats() const;
+  /// Current number of memoized ε entries.
+  std::size_t cache_size() const;
+
+  /// Evaluates the whole batch; answers[i] corresponds to queries[i].
+  /// The returned status is only non-OK for engine-level failures;
+  /// per-query failures are reported in each BatchAnswer. If a mutation
+  /// is in progress every answer is kStale (see class comment).
+  Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
+                                       BatchStats* stats = nullptr) const;
+
+  /// Single-query conveniences: the Section-6.2 point queries evaluated
+  /// through the facade (shared lock, ε-memo cache, kStale on a racing
+  /// mutation). Prefer Run() for more than a couple of queries.
+  Result<double> PointProbability(const PathExpression& path,
+                                  ObjectId object) const;
+  Result<double> ExistsProbability(const PathExpression& path) const;
+  Result<double> ValueProbability(const PathExpression& path,
+                                  const Value& value) const;
+  Result<double> ConditionProbability(const SelectionCondition& cond) const;
+
+  /// A scope holding the engine's exclusive mutation lock. While any
+  /// guard is open, queries fail with kStale instead of observing a
+  /// half-applied multi-object update. Move-only; unlocks on destruction.
+  class MutationGuard {
+   public:
+    MutationGuard(MutationGuard&& other) noexcept;
+    MutationGuard& operator=(MutationGuard&&) = delete;
+    MutationGuard(const MutationGuard&) = delete;
+    MutationGuard& operator=(const MutationGuard&) = delete;
+    ~MutationGuard();
+
+    /// Replaces ℘(o) for a non-leaf. kUnknownObject if o is not present;
+    /// the ε-memo entries of o's ancestor spine become stale, nothing
+    /// else.
+    Status UpdateOpf(ObjectId o, std::unique_ptr<Opf> opf);
+    /// Replaces ℘(o) for a leaf. Same invalidation footprint.
+    Status UpdateVpf(ObjectId o, Vpf vpf);
+    /// Grafts the local interpretation of `donor`'s subtree under
+    /// `donor_root` onto the engine instance's subtree under `at`: the
+    /// two subtrees are matched top-down by object name and edge-label
+    /// shape, and every matched object's OPF/VPF is replaced by the
+    /// donor's (child ids remapped). The weak structure is untouched, so
+    /// invalidation stays per-subtree — no whole-cache flush.
+    /// kUnknownObject for missing roots, InvalidArgument on any shape or
+    /// name mismatch (applied updates up to that point remain — wrap in
+    /// a fresh engine if atomicity across a failed graft matters).
+    Status ReplaceSubtree(ObjectId at, const ProbabilisticInstance& donor,
+                          ObjectId donor_root);
+
+   private:
+    friend class QueryEngine;
+    explicit MutationGuard(QueryEngine* engine);
+
+    QueryEngine* engine_ = nullptr;  // null after move-out
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  /// Opens a mutation scope (blocks until in-flight queries drain).
+  /// Queries issued while the guard lives return kStale, so a batch can
+  /// never observe half of a multi-update.
+  MutationGuard BeginMutations();
+
+  /// One-shot mutations: each takes and releases the exclusive lock.
+  Status UpdateOpf(ObjectId o, std::unique_ptr<Opf> opf);
+  Status UpdateVpf(ObjectId o, Vpf vpf);
+  Status ReplaceSubtree(ObjectId at, const ProbabilisticInstance& donor,
+                        ObjectId donor_root);
+
+ private:
+  BatchAnswer RunOne(const BatchQuery& query,
+                     ProjectionStats* projection_stats,
+                     const EpsilonHooks& hooks) const;
+  /// Non-null iff the engine may mutate (owning mode).
+  ProbabilisticInstance* mutable_instance() { return owned_.get(); }
+  EpsilonHooks Hooks(EpsilonStats* stats) const {
+    return EpsilonHooks{cache_.get(), stats};
+  }
+
+  BatchOptions options_;
+  std::unique_ptr<ProbabilisticInstance> owned_;  // null in borrowing mode
+  const ProbabilisticInstance* instance_;         // never null
+  std::unique_ptr<ThreadPool> pool_;              // null when threads() == 1
+  std::unique_ptr<EpsilonMemoCache> cache_;       // null when options.cache off
+
+  /// Writer gate. Queries check `mutators_` first (fail fast with kStale,
+  /// and never self-deadlock when the guard's owner queries its own
+  /// engine), then hold `mu_` shared for the duration of the batch.
+  mutable std::shared_mutex mu_;
+  std::atomic<int> mutators_{0};
+};
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_ENGINE_H_

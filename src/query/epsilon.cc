@@ -1,20 +1,17 @@
 #include "query/epsilon.h"
 
+#include <vector>
+
 #include "util/strings.h"
 
 namespace pxml {
 
 Result<double> EpsilonPropagator::RootEpsilon(
-    const PathExpression& path, const std::vector<ObjectId>& targets,
-    const std::vector<double>& target_eps) const {
-  if (targets.size() != target_eps.size()) {
-    return Status::InvalidArgument(
-        "targets and target_eps must be parallel");
-  }
+    const PathExpression& path, std::span<const TargetEps> targets) const {
   const WeakInstance& weak = instance_.weak();
   PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
   if (path.start != weak.root()) {
-    return Status::InvalidArgument(
+    return Status::BadPath(
         "epsilon propagation paths must start at the root");
   }
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
@@ -22,22 +19,68 @@ Result<double> EpsilonPropagator::RootEpsilon(
   const std::size_t n = path.labels.size();
 
   std::vector<double> eps(weak.dict().num_objects(), 0.0);
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    if (!layers[n].Contains(targets[i])) {
-      return Status::InvalidArgument(
-          StrCat("target id ", targets[i],
-                 " does not satisfy the path expression"));
+  for (const TargetEps& t : targets) {
+    if (!layers[n].Contains(t.object)) {
+      return Status::BadPath(StrCat("target id ", t.object,
+                                    " does not satisfy the path expression"));
     }
-    eps[targets[i]] = target_eps[i];
+    eps[t.object] = t.eps;
   }
   if (n == 0) return eps[weak.root()];
 
-  // ε of one frontier object from its children's (finalized) ε values.
-  // Writes only eps[o]; the per-row sums stay sequential per object, so
-  // parallel and serial execution produce identical bits.
-  auto compute = [&](ObjectId o, LabelId l, const IdSet& next_layer)
-      -> Status {
+  // Memo bookkeeping. fp[o] fingerprints the target configuration inside
+  // o's subtree (object ids on the pruned match below o, plus the
+  // survival eps at the final layer); the memo key additionally folds in
+  // the path suffix below o's level. ℘ content is deliberately *not*
+  // fingerprinted — the version stamp in the cache entry covers it via
+  // SubtreeChangeVersion, which is what makes a single-OPF update
+  // invalidate exactly the dirty spine.
+  std::vector<Fingerprint> fp;
+  std::vector<Fingerprint> suffix;
+  if (cache_ != nullptr) {
+    cache_->SyncStructureVersion(instance_.structure_version());
+    fp.resize(weak.dict().num_objects());
+    for (ObjectId t : layers[n]) {
+      Fingerprint f;
+      f.Mix(t);
+      f.MixDouble(eps[t]);
+      fp[t] = f;
+    }
+    suffix.resize(n + 1);
+    for (std::size_t i = n; i-- > 0;) {
+      suffix[i] = suffix[i + 1];
+      suffix[i].Mix(path.labels[i]);
+    }
+  }
+
+  // ε of one frontier object from its children's (finalized) ε values,
+  // served from the memo when the subtree is unchanged. Writes only its
+  // own eps/fp slots; the per-row sums stay sequential per object, so
+  // parallel and serial (and cached and uncached) execution produce
+  // identical bits.
+  auto process = [&](ObjectId o, std::size_t level, LabelId l,
+                     const IdSet& next_layer) -> Status {
     const IdSet retained = weak.Lch(o, l).Intersect(next_layer);
+    Fingerprint key;
+    if (cache_ != nullptr) {
+      Fingerprint f;
+      f.Mix(o);
+      for (ObjectId j : retained) f.MixFingerprint(fp[j]);
+      fp[o] = f;
+      key = f;
+      key.MixFingerprint(suffix[level]);
+      if (stats_ != nullptr) {
+        stats_->cache_lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (std::optional<double> hit =
+              cache_->Lookup(key, instance_.SubtreeChangeVersion(o))) {
+        if (stats_ != nullptr) {
+          stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        eps[o] = *hit;
+        return Status::Ok();
+      }
+    }
     const Opf* opf = instance_.GetOpf(o);
     if (opf == nullptr) {
       return Status::FailedPrecondition(
@@ -64,6 +107,10 @@ Result<double> EpsilonPropagator::RootEpsilon(
       }
     }
     eps[o] = e;
+    if (stats_ != nullptr) {
+      stats_->recomputed.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cache_ != nullptr) cache_->Insert(key, e, instance_.version());
     return Status::Ok();
   };
 
@@ -81,14 +128,14 @@ Result<double> EpsilonPropagator::RootEpsilon(
       ParallelFor(parallel_.pool, objs.size(), grain,
                   [&](std::size_t begin, std::size_t end) {
                     for (std::size_t k = begin; k < end; ++k) {
-                      statuses[k] = compute(objs[k], l, next_layer);
+                      statuses[k] = process(objs[k], level, l, next_layer);
                     }
                   });
       // Deterministic error selection: first failure in frontier order.
       for (const Status& s : statuses) PXML_RETURN_IF_ERROR(s);
     } else {
       for (ObjectId o : frontier) {
-        PXML_RETURN_IF_ERROR(compute(o, l, next_layer));
+        PXML_RETURN_IF_ERROR(process(o, level, l, next_layer));
       }
     }
   }

@@ -1,15 +1,39 @@
 #ifndef PXML_QUERY_EPSILON_H_
 #define PXML_QUERY_EPSILON_H_
 
-#include <vector>
+#include <atomic>
+#include <cstdint>
+#include <span>
 
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
 #include "prob/value.h"
+#include "query/epsilon_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace pxml {
+
+/// One query target and its "survival" probability: the chance the target
+/// locally satisfies the query given it exists (1.0 for plain existence,
+/// the VPF mass of matching values for value queries, the OPF mass of
+/// in-range child counts for cardinality conditions).
+struct TargetEps {
+  ObjectId object = kInvalidId;
+  double eps = 0.0;
+};
+
+/// Operation counters for ε-propagation passes. `recomputed` is the
+/// number of per-object ε evaluations actually performed — the quantity
+/// the Fig 7b-style incremental-update experiments assert on (wall clock
+/// is unobservable in a 1-CPU container). Atomic because intra-query
+/// parallel passes update them from several workers; totals are exact.
+struct EpsilonStats {
+  std::atomic<std::uint64_t> recomputed{0};
+  /// Memo lookups attempted / served (0 without a cache).
+  std::atomic<std::uint64_t> cache_lookups{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+};
 
 /// The ε-propagation engine of Section 6.2. For a tree-shaped
 /// probabilistic instance, a path expression p, and per-target "survival"
@@ -21,32 +45,46 @@ namespace pxml {
 ///
 /// (children survive independently in a tree), and returns ε_root.
 ///
-/// `target_eps(o)` supplies the base case for objects satisfying p:
-/// 1.0 for plain existence, VPF(v) for value queries.
-///
 /// With a ThreadPool in `parallel`, wide levels of the bottom-up pass are
 /// partitioned across workers: objects in one pruned layer lie in
 /// disjoint subtrees, so their ε values depend only on the (already
 /// finalized) layer below and each per-object sum stays sequential —
 /// the result is bit-identical to the serial pass regardless of
 /// scheduling. The final root combine is inherently sequential.
+///
+/// With an EpsilonMemoCache, every per-object ε is memoized under a
+/// fingerprint of (object, path suffix below its level, target set with
+/// survival eps restricted to its subtree) and stamped with the instance
+/// version; a later pass reuses any entry whose subtree ℘ has not changed
+/// since (ProbabilisticInstance::SubtreeChangeVersion). After a single
+/// local update only the dirty spine — the updated object's ancestors —
+/// is recomputed: O(depth) ε work instead of O(tree). Hits return exactly
+/// the double a recomputation would produce, so cached and uncached
+/// passes are bit-identical.
 class EpsilonPropagator {
  public:
   explicit EpsilonPropagator(const ProbabilisticInstance& instance,
-                             ParallelOptions parallel = {})
-      : instance_(instance), parallel_(parallel) {}
+                             ParallelOptions parallel = {},
+                             EpsilonMemoCache* cache = nullptr,
+                             EpsilonStats* stats = nullptr)
+      : instance_(instance),
+        parallel_(parallel),
+        cache_(cache),
+        stats_(stats) {}
 
-  /// ε_root for the given path, with target survival probabilities from
-  /// `target_eps` (parallel to `targets`). Targets must all lie in the
-  /// path's final pruned layer; other final-layer objects are treated as
-  /// non-matching (ε = 0). Requires a tree-shaped weak instance.
+  /// ε_root for the given path with the given target survival
+  /// probabilities. Targets must all lie in the path's final pruned
+  /// layer; other final-layer objects are treated as non-matching
+  /// (ε = 0). Requires a tree-shaped weak instance (kNotATree otherwise);
+  /// a target off the path is kBadPath.
   Result<double> RootEpsilon(const PathExpression& path,
-                             const std::vector<ObjectId>& targets,
-                             const std::vector<double>& target_eps) const;
+                             std::span<const TargetEps> targets) const;
 
  private:
   const ProbabilisticInstance& instance_;
   ParallelOptions parallel_;
+  EpsilonMemoCache* cache_;
+  EpsilonStats* stats_;
 };
 
 }  // namespace pxml

@@ -1,0 +1,115 @@
+#include "query/epsilon_cache.h"
+
+#include <bit>
+
+namespace pxml {
+
+namespace {
+
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mixer.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Fingerprint::Mix(std::uint64_t v) {
+  lo = Mix64(lo ^ v);
+  hi = Mix64(hi + ((v * 0xff51afd7ed558ccdull) | 1));
+}
+
+void Fingerprint::MixDouble(double v) { Mix(std::bit_cast<std::uint64_t>(v)); }
+
+void Fingerprint::MixFingerprint(const Fingerprint& other) {
+  Mix(other.lo);
+  Mix(other.hi);
+}
+
+EpsilonMemoCache::EpsilonMemoCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<double> EpsilonMemoCache::Lookup(const Fingerprint& key,
+                                               std::uint64_t min_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (it->second.version < min_version) {
+    // Stale: a ℘ update touched this subtree after the entry was
+    // recorded. Leave it in place — the caller recomputes and Insert()
+    // overwrites it with the fresh value.
+    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  TouchLocked(it->second);
+  return it->second.eps;
+}
+
+void EpsilonMemoCache::Insert(const Fingerprint& key, double eps,
+                              std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.eps = eps;
+    it->second.version = version;
+    TouchLocked(it->second);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{eps, version, lru_.begin()});
+}
+
+void EpsilonMemoCache::SyncStructureVersion(std::uint64_t structure_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (structure_version_known_ && structure_version_ == structure_version) {
+    return;
+  }
+  if (structure_version_known_ && !entries_.empty()) {
+    entries_.clear();
+    lru_.clear();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  structure_version_ = structure_version;
+  structure_version_known_ = true;
+}
+
+void EpsilonMemoCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  structure_version_known_ = false;
+}
+
+std::size_t EpsilonMemoCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+EpsilonMemoCache::Stats EpsilonMemoCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidated = invalidated_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void EpsilonMemoCache::TouchLocked(Entry& entry) {
+  if (entry.lru_it != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  }
+}
+
+}  // namespace pxml

@@ -1,0 +1,122 @@
+#ifndef PXML_QUERY_EPSILON_CACHE_H_
+#define PXML_QUERY_EPSILON_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace pxml {
+
+/// A 128-bit mixing fingerprint (two independently seeded 64-bit lanes).
+/// Used to key ε-memo entries by (object, path-suffix, target-set): the
+/// two lanes make an accidental collision across the cache's lifetime
+/// astronomically unlikely, so lookups need no stored key verification
+/// beyond the fingerprint itself.
+struct Fingerprint {
+  std::uint64_t lo = 0x9e3779b97f4a7c15ull;
+  std::uint64_t hi = 0xc2b2ae3d27d4eb4full;
+
+  /// Absorbs one 64-bit word into both lanes (order-sensitive).
+  void Mix(std::uint64_t v);
+  /// Absorbs the bit pattern of a double (distinguishes 0.0 from -0.0,
+  /// which is fine: equal bits are all the memo needs).
+  void MixDouble(double v);
+  /// Absorbs another fingerprint (used to fold a child's subtree
+  /// fingerprint into its parent's).
+  void MixFingerprint(const Fingerprint& other);
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const {
+    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// The subtree-keyed ε-memo cache of DESIGN.md §8.
+///
+/// Entries map a fingerprint of (object id, path-suffix labels below the
+/// object's level, target-set-with-survival-eps restricted to the
+/// object's subtree) to the ε value the propagator computed for that
+/// object, stamped with the instance version at computation time. An
+/// entry is served only if no ℘ update has touched the object's subtree
+/// since the stamp (ProbabilisticInstance::SubtreeChangeVersion); stale
+/// entries read as misses and are overwritten in place by the fresh
+/// value. A structure_version change flushes everything — structural
+/// edits cannot be attributed to subtrees.
+///
+/// Bounded: at most `capacity` entries, evicted least-recently-used so a
+/// long-running server's cache cannot grow without limit.
+///
+/// Thread-safe: a single mutex guards the map and the LRU list; hit and
+/// miss *values* are deterministic (a hit returns exactly the double a
+/// recomputation would produce), so concurrent use never perturbs query
+/// results, only the counters.
+class EpsilonMemoCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;        // absent entries
+    std::uint64_t invalidated = 0;   // present but version-stale entries
+    std::uint64_t evictions = 0;     // LRU evictions
+    std::uint64_t flushes = 0;       // whole-cache structure flushes
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+  explicit EpsilonMemoCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Serves the cached ε for `key` if present and computed at or after
+  /// `min_version` (the subtree's last ℘-change version). Refreshes LRU
+  /// recency on hit; counts a miss or an invalidation otherwise.
+  std::optional<double> Lookup(const Fingerprint& key,
+                               std::uint64_t min_version);
+
+  /// Records (or overwrites) the ε for `key`, computed at `version`.
+  void Insert(const Fingerprint& key, double eps, std::uint64_t version);
+
+  /// Flushes everything if the instance's structure version moved since
+  /// the last call (first call adopts the version without flushing).
+  void SyncStructureVersion(std::uint64_t structure_version);
+
+  void Clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    double eps = 0.0;
+    std::uint64_t version = 0;
+    std::list<Fingerprint>::iterator lru_it;
+  };
+
+  void TouchLocked(Entry& entry);
+
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;
+  std::list<Fingerprint> lru_;  // front = most recent
+  std::uint64_t structure_version_ = 0;
+  bool structure_version_known_ = false;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidated_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+};
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_EPSILON_CACHE_H_

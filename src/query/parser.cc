@@ -313,14 +313,13 @@ Result<Query> ParseQuery(const Dictionary& dict, std::string_view text) {
 namespace {
 
 /// Probability queries prefer the tree-only ε-propagation; on DAG-shaped
-/// instances (FailedPrecondition from the tree check) they fall back to
-/// the exact possible-worlds oracle, which is exponential but always
-/// correct for instances small enough to enumerate.
+/// instances (kNotATree from the tree check) they fall back to the exact
+/// possible-worlds oracle, which is exponential but always correct for
+/// instances small enough to enumerate.
 Result<double> ProbabilityWithFallback(const ProbabilisticInstance& instance,
                                        const SelectionCondition& condition) {
   Result<double> fast = ConditionProbability(instance, condition);
-  if (fast.ok() ||
-      fast.status().code() != StatusCode::kFailedPrecondition) {
+  if (fast.ok() || fast.status().code() != StatusCode::kNotATree) {
     return fast;
   }
   return ConditionProbabilityViaWorlds(instance, condition);
@@ -362,8 +361,7 @@ Result<QueryOutput> ExecuteQuery(const ProbabilisticInstance& instance,
     }
     case Query::Kind::kExistsProbability: {
       Result<double> fast = ExistsQuery(instance, query.path);
-      if (!fast.ok() &&
-          fast.status().code() == StatusCode::kFailedPrecondition) {
+      if (!fast.ok() && fast.status().code() == StatusCode::kNotATree) {
         fast = ExistsQueryViaWorlds(instance, query.path);
       }
       PXML_ASSIGN_OR_RETURN(out.probability, std::move(fast));

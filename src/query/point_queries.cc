@@ -9,44 +9,51 @@ namespace pxml {
 
 Result<double> PointQuery(const ProbabilisticInstance& instance,
                           const PathExpression& path, ObjectId object,
-                          const ParallelOptions& parallel) {
+                          const ParallelOptions& parallel,
+                          const EpsilonHooks& hooks) {
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
                         PrunedWeakPathLayers(instance.weak(), path));
   if (!layers.back().Contains(object)) return 0.0;
-  EpsilonPropagator prop(instance, parallel);
-  return prop.RootEpsilon(path, {object}, {1.0});
+  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats);
+  const TargetEps target{object, 1.0};
+  return prop.RootEpsilon(path, std::span<const TargetEps>(&target, 1));
 }
 
 Result<double> ExistsQuery(const ProbabilisticInstance& instance,
                            const PathExpression& path,
-                           const ParallelOptions& parallel) {
+                           const ParallelOptions& parallel,
+                           const EpsilonHooks& hooks) {
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
                         PrunedWeakPathLayers(instance.weak(), path));
-  std::vector<ObjectId> targets(layers.back().begin(), layers.back().end());
+  std::vector<TargetEps> targets;
+  targets.reserve(layers.back().size());
+  for (ObjectId o : layers.back()) targets.push_back(TargetEps{o, 1.0});
   if (targets.empty()) return 0.0;
-  EpsilonPropagator prop(instance, parallel);
-  return prop.RootEpsilon(path, targets,
-                          std::vector<double>(targets.size(), 1.0));
+  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats);
+  return prop.RootEpsilon(path, targets);
 }
 
 Result<double> ValueQuery(const ProbabilisticInstance& instance,
                           const PathExpression& path, const Value& value,
-                          const ParallelOptions& parallel) {
+                          const ParallelOptions& parallel,
+                          const EpsilonHooks& hooks) {
   return ConditionProbability(
-      instance, SelectionCondition::ValueEquals(path, value), parallel);
+      instance, SelectionCondition::ValueEquals(path, value), parallel,
+      hooks);
 }
 
 Result<double> ConditionProbability(const ProbabilisticInstance& instance,
                                     const SelectionCondition& condition,
-                                    const ParallelOptions& parallel) {
+                                    const ParallelOptions& parallel,
+                                    const EpsilonHooks& hooks) {
   if (condition.kind == SelectionCondition::Kind::kObject) {
-    return PointQuery(instance, condition.path, condition.object, parallel);
+    return PointQuery(instance, condition.path, condition.object, parallel,
+                      hooks);
   }
   const WeakInstance& weak = instance.weak();
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
                         PrunedWeakPathLayers(weak, condition.path));
-  std::vector<ObjectId> targets;
-  std::vector<double> eps;
+  std::vector<TargetEps> targets;
   for (ObjectId o : layers.back()) {
     // The target's "survival" probability is the chance it satisfies the
     // condition locally, given it exists.
@@ -78,12 +85,11 @@ Result<double> ConditionProbability(const ProbabilisticInstance& instance,
         }
       }
     }
-    targets.push_back(o);
-    eps.push_back(e);
+    targets.push_back(TargetEps{o, e});
   }
   if (targets.empty()) return 0.0;
-  EpsilonPropagator prop(instance, parallel);
-  return prop.RootEpsilon(condition.path, targets, eps);
+  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats);
+  return prop.RootEpsilon(condition.path, targets);
 }
 
 Result<double> ChainProbability(const ProbabilisticInstance& instance,

@@ -7,6 +7,7 @@
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
 #include "prob/value.h"
+#include "query/epsilon.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -22,22 +23,36 @@ namespace pxml {
 /// ε-propagation pass is partitioned over independent subtrees (see
 /// EpsilonPropagator); the default is the serial path and the result is
 /// bit-identical either way.
+///
+/// The free functions are the convenience entry points (and what the
+/// QueryEngine facade wraps): `hooks` optionally plugs in the facade's
+/// ε-memo cache and operation counters; the defaults run uncached and
+/// uncounted, exactly the historical behavior.
+
+/// Optional memoization/observability plumbing for one query evaluation.
+struct EpsilonHooks {
+  EpsilonMemoCache* cache = nullptr;
+  EpsilonStats* stats = nullptr;
+};
 
 /// P(o ∈ p): the probability that object o satisfies path expression p in
 /// a random compatible world (Def 6.1). Zero if o cannot match p.
 Result<double> PointQuery(const ProbabilisticInstance& instance,
                           const PathExpression& path, ObjectId object,
-                          const ParallelOptions& parallel = {});
+                          const ParallelOptions& parallel = {},
+                          const EpsilonHooks& hooks = {});
 
 /// P(∃ o: o ∈ p): some object satisfies p.
 Result<double> ExistsQuery(const ProbabilisticInstance& instance,
                            const PathExpression& path,
-                           const ParallelOptions& parallel = {});
+                           const ParallelOptions& parallel = {},
+                           const EpsilonHooks& hooks = {});
 
 /// P(∃ o ∈ p with val(o) = v): some leaf reached by p carries value v.
 Result<double> ValueQuery(const ProbabilisticInstance& instance,
                           const PathExpression& path, const Value& value,
-                          const ParallelOptions& parallel = {});
+                          const ParallelOptions& parallel = {},
+                          const EpsilonHooks& hooks = {});
 
 /// P(some object at the end of `condition.path` satisfies the condition)
 /// — the ε-propagation point query generalized to every condition kind:
@@ -46,7 +61,8 @@ Result<double> ValueQuery(const ProbabilisticInstance& instance,
 /// selection (Def 5.6).
 Result<double> ConditionProbability(const ProbabilisticInstance& instance,
                                     const SelectionCondition& condition,
-                                    const ParallelOptions& parallel = {});
+                                    const ParallelOptions& parallel = {},
+                                    const EpsilonHooks& hooks = {});
 
 /// The probability of a simple object chain r.o_1...o_k (Section 6.2's
 /// warm-up): every listed object is a child of its predecessor. The chain

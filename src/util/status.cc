@@ -20,6 +20,14 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kNotATree:
+      return "NotATree";
+    case StatusCode::kUnknownObject:
+      return "UnknownObject";
+    case StatusCode::kBadPath:
+      return "BadPath";
+    case StatusCode::kStale:
+      return "Stale";
   }
   return "Unknown";
 }

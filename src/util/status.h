@@ -31,6 +31,23 @@ enum class StatusCode {
   kIoError,
   /// Anything else.
   kInternal,
+
+  // --- Query-layer taxonomy (callers dispatch on these codes instead of
+  // string-matching messages; see DESIGN.md §8).
+
+  /// The weak instance graph is not a tree, so the efficient Section-6
+  /// algorithms (ε-propagation, ancestor projection, selection) do not
+  /// apply — fall back to the possible-worlds / sampling routes.
+  kNotATree,
+  /// A query referenced an object id that is not present in the instance
+  /// (path start, point-query target, mutation target).
+  kUnknownObject,
+  /// A path expression is malformed for the requested operation: it does
+  /// not start at the root, or a named target cannot satisfy it.
+  kBadPath,
+  /// The query raced a mutation through the QueryEngine facade; the
+  /// answer would reflect neither the old nor the new instance. Retry.
+  kStale,
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -66,6 +83,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotATree(std::string msg) {
+    return Status(StatusCode::kNotATree, std::move(msg));
+  }
+  static Status UnknownObject(std::string msg) {
+    return Status(StatusCode::kUnknownObject, std::move(msg));
+  }
+  static Status BadPath(std::string msg) {
+    return Status(StatusCode::kBadPath, std::move(msg));
+  }
+  static Status Stale(std::string msg) {
+    return Status(StatusCode::kStale, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -226,7 +226,7 @@ TEST(AncestorProjectTest, RejectsDagInstances) {
   PathExpression p =
       MakePath(inst.dict(), inst.weak().root(), {"book", "author"});
   Status s = AncestorProject(inst, p).status();
-  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(s.code(), StatusCode::kNotATree);
 }
 
 TEST(AncestorProjectTest, OracleStillWorksOnDags) {
