@@ -1,0 +1,178 @@
+// Frozen-kernel ablation (DESIGN.md §9): the fig7a workload with
+// per-label-product OPFs (branching 8 split round-robin across 2
+// labels), evaluated by the generic interpreter and by the compiled
+// FrozenInstance kernels. Wall clock is unobservable in a 1-CPU CI
+// container, so the wins are counter-verified instead:
+//
+//   * opf_row_ops: the frozen per-label kernel touches only the on-path
+//     factor's 2^{b_l} rows (Σ_l 2^{b_l} for ε) instead of the generic
+//     2^{Σ_l b_l} enumeration — required ratio ≥ 10×;
+//   * entries_materialized == 0 on the frozen path (no OpfEntry is ever
+//     heap-materialized);
+//   * bytes_allocated == 0 on warm re-queries (scratch arenas and
+//     thread-local buffers keep their capacity).
+//
+// Results must agree with the generic interpreter to 1e-12 (the
+// factored per-label recurrence associates differently — see
+// query/frozen.h).
+//
+// Usage: bench_frozen_kernels [--seed=S] [--json=PATH] [--check]
+// --check exits non-zero when any of the above assertions fail (the CI
+// gate).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fig7_common.h"
+#include "query/point_queries.h"
+
+namespace {
+
+using namespace pxml;         // NOLINT
+using namespace pxml::bench;  // NOLINT
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what, const std::string& detail) {
+  std::printf("%-7s %s (%s)\n", ok ? "ok" : "FAIL", what, detail.c_str());
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check_mode = true;
+  }
+  const BenchFlags flags =
+      ParseBenchFlags(&argc, argv, BenchFlags{/*threads=*/1,
+                                              /*seed=*/20260806});
+  JsonLog json("frozen_kernels", flags);
+
+  GeneratorConfig config;
+  config.depth = 4;
+  config.branching = 8;
+  config.labels_per_level = 2;
+  config.opf_style = OpfStyle::kPerLabelProduct;
+  config.seed = flags.seed;
+  auto generated = GenerateBalancedTree(config);
+  BenchCheck(generated.status(), "generate");
+  // A const view: the non-const weak() accessor bumps the instance's
+  // version counters (by design), which would invalidate the snapshot.
+  const ProbabilisticInstance& inst = *generated;
+  std::printf("# frozen kernels vs generic interpreter: %zu objects, "
+              "per-label OPFs (b=8 over 2 labels)\n",
+              inst.weak().num_objects());
+
+  Rng query_rng(flags.seed ^ 0x51CA7E);
+  auto path = GenerateAcceptedPath(inst, query_rng);
+  BenchCheck(path.status(), "path");
+
+  auto snapshot = FrozenInstance::Freeze(inst);
+  BenchCheck(snapshot.status(), "freeze");
+  const FrozenInstance& frozen = *snapshot;
+
+  // ---- Marginalization (ancestor projection ℘ update).
+  ProjectionStats generic_proj;
+  auto generic_result = AncestorProject(inst, *path, &generic_proj);
+  BenchCheck(generic_result.status(), "generic project");
+  ProjectionStats cold_proj;
+  auto frozen_cold = AncestorProject(inst, *path, &cold_proj, {}, &frozen);
+  BenchCheck(frozen_cold.status(), "frozen project (cold)");
+  ProjectionStats warm_proj;
+  auto frozen_result = AncestorProject(inst, *path, &warm_proj, {}, &frozen);
+  BenchCheck(frozen_result.status(), "frozen project (warm)");
+
+  // ℘'(r)(∅) is the probability that no object matches the path — a
+  // scalar summary of the whole marginalization.
+  const ObjectId root = inst.weak().root();
+  const double generic_empty = generic_result->GetOpf(root)->Prob(IdSet());
+  const double frozen_empty = frozen_result->GetOpf(root)->Prob(IdSet());
+
+  Check(warm_proj.frozen_passes == 1, "projection ran on frozen kernels",
+        StrCat("frozen_passes=", warm_proj.frozen_passes));
+  Check(warm_proj.entries_materialized == 0,
+        "projection materialized no rows",
+        StrCat("entries_materialized=", warm_proj.entries_materialized));
+  Check(warm_proj.bytes_allocated == 0,
+        "warm projection re-query allocated nothing",
+        StrCat("bytes_allocated=", warm_proj.bytes_allocated));
+  Check(warm_proj.opf_row_ops * 10 <= generic_proj.opf_row_ops,
+        "projection row ops >= 10x fewer",
+        StrCat("generic=", generic_proj.opf_row_ops,
+               " frozen=", warm_proj.opf_row_ops));
+  Check(std::abs(generic_empty - frozen_empty) <= 1e-12,
+        "projection results agree to 1e-12",
+        StrCat("generic=", generic_empty, " frozen=", frozen_empty));
+
+  // ---- ε propagation (exists point query).
+  EpsilonStats generic_eps;
+  EpsilonHooks generic_hooks;
+  generic_hooks.stats = &generic_eps;
+  auto generic_p = ExistsQuery(inst, *path, {}, generic_hooks);
+  BenchCheck(generic_p.status(), "generic exists");
+
+  EpsilonScratch scratch;
+  EpsilonStats cold_eps;
+  EpsilonHooks frozen_hooks;
+  frozen_hooks.stats = &cold_eps;
+  frozen_hooks.frozen = &frozen;
+  frozen_hooks.scratch = &scratch;
+  auto frozen_cold_p = ExistsQuery(inst, *path, {}, frozen_hooks);
+  BenchCheck(frozen_cold_p.status(), "frozen exists (cold)");
+  EpsilonStats warm_eps;
+  frozen_hooks.stats = &warm_eps;
+  auto frozen_p = ExistsQuery(inst, *path, {}, frozen_hooks);
+  BenchCheck(frozen_p.status(), "frozen exists (warm)");
+
+  Check(warm_eps.frozen_passes.load() == 1, "epsilon ran on frozen kernels",
+        StrCat("frozen_passes=", warm_eps.frozen_passes.load()));
+  Check(warm_eps.entries_materialized.load() == 0,
+        "epsilon materialized no rows",
+        StrCat("entries_materialized=", warm_eps.entries_materialized.load()));
+  Check(warm_eps.bytes_allocated.load() == 0,
+        "warm epsilon re-query allocated nothing",
+        StrCat("bytes_allocated=", warm_eps.bytes_allocated.load()));
+  Check(warm_eps.opf_row_ops.load() * 10 <= generic_eps.opf_row_ops.load(),
+        "epsilon row ops >= 10x fewer",
+        StrCat("generic=", generic_eps.opf_row_ops.load(),
+               " frozen=", warm_eps.opf_row_ops.load()));
+  Check(std::abs(*generic_p - *frozen_p) <= 1e-12,
+        "epsilon results agree to 1e-12",
+        StrCat("generic=", *generic_p, " frozen=", *frozen_p));
+
+  json.NextRow();
+  json.Str("pass", "projection");
+  json.Int("objects", inst.weak().num_objects());
+  json.Int("generic_opf_row_ops", generic_proj.opf_row_ops);
+  json.Int("frozen_opf_row_ops", warm_proj.opf_row_ops);
+  json.Int("generic_entries_materialized", generic_proj.entries_materialized);
+  json.Int("frozen_entries_materialized", warm_proj.entries_materialized);
+  json.Int("frozen_cold_bytes_allocated", cold_proj.bytes_allocated);
+  json.Int("frozen_warm_bytes_allocated", warm_proj.bytes_allocated);
+  json.Num("generic_empty_prob", generic_empty);
+  json.Num("frozen_empty_prob", frozen_empty);
+  json.NextRow();
+  json.Str("pass", "epsilon");
+  json.Int("objects", inst.weak().num_objects());
+  json.Int("generic_opf_row_ops", generic_eps.opf_row_ops.load());
+  json.Int("frozen_opf_row_ops", warm_eps.opf_row_ops.load());
+  json.Int("generic_entries_materialized",
+           generic_eps.entries_materialized.load());
+  json.Int("frozen_entries_materialized",
+           warm_eps.entries_materialized.load());
+  json.Int("frozen_cold_bytes_allocated", cold_eps.bytes_allocated.load());
+  json.Int("frozen_warm_bytes_allocated", warm_eps.bytes_allocated.load());
+  json.Num("generic_exists_prob", *generic_p);
+  json.Num("frozen_exists_prob", *frozen_p);
+  json.Write();
+
+  if (g_failures != 0) {
+    std::printf("%d check(s) FAILED\n", g_failures);
+    return check_mode ? 1 : 0;
+  }
+  std::printf("all checks passed\n");
+  return 0;
+}

@@ -5,9 +5,12 @@
 // marginals in O(n), but materializing their table is exponential.
 //
 // Usage: bench_opf_representations [--seed=S] [--threads=N]
-// [gbench flags]. --threads feeds the point-query benchmarks'
-// ParallelOptions (documents here sit below the parallel cutoff, so the
-// serial path usually wins; answers are bit-identical either way).
+// [--json=PATH] [gbench flags]. --threads feeds the point-query
+// benchmarks' ParallelOptions (documents here sit below the parallel
+// cutoff, so the serial path usually wins; answers are bit-identical
+// either way). --json=PATH maps onto google-benchmark's own JSON
+// reporter (--benchmark_out=PATH --benchmark_out_format=json), so all
+// three JSON-emitting benches share one flag spelling.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -155,6 +158,16 @@ BENCHMARK(BM_OpfMaterializeTable<OpfRepresentation::kIndependent>)
 int main(int argc, char** argv) {
   g_flags = pxml::bench::ParseBenchFlags(&argc, argv, g_flags);
   if (g_flags.threads > 1) g_pool = std::make_unique<ThreadPool>(g_flags.threads);
+  // Forward --json=PATH as google-benchmark's JSON reporter flags.
+  std::vector<std::string> extra_args;
+  std::vector<char*> argv2(argv, argv + argc);
+  if (!g_flags.json.empty()) {
+    extra_args.push_back("--benchmark_out=" + g_flags.json);
+    extra_args.push_back("--benchmark_out_format=json");
+    for (std::string& arg : extra_args) argv2.push_back(arg.data());
+    argc = static_cast<int>(argv2.size());
+    argv = argv2.data();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -19,13 +19,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "algebra/projection.h"
 #include "algebra/selection.h"
+#include "query/frozen.h"
 #include "util/rng.h"
+#include "util/strings.h"
 #include "workload/generator.h"
 #include "workload/query_generator.h"
 #include "xml/writer.h"
@@ -75,13 +78,19 @@ inline std::string ScratchPath() {
 /// defaults (historical hardcoded seeds stay the defaults so published
 /// series remain reproducible by running with no flags).
 struct BenchFlags {
-  std::size_t threads = 1;  ///< --threads=N (N >= 1)
-  std::uint64_t seed = 0;   ///< --seed=S (workload generation)
-  bool cache = true;        ///< --cache=on|off (ε-memo cache)
+  std::size_t threads = 1;      ///< --threads=N (N >= 1)
+  std::uint64_t seed = 0;       ///< --seed=S (workload generation)
+  bool cache = true;            ///< --cache=on|off (ε-memo cache)
+  std::string json;             ///< --json=PATH (machine-readable output)
+  std::size_t max_objects = 0;  ///< --max-objects=N (0 = bench default)
+  /// --opf=explicit|independent|per-label (generated OPF representation)
+  OpfStyle opf_style = OpfStyle::kExplicitTable;
+  bool frozen = false;          ///< --frozen=on|off (FrozenInstance kernels)
 };
 
 /// Parses and REMOVES the shared flags (`--threads=N`, `--seed=S`,
-/// `--cache=on|off`) from argv, so google-benchmark binaries can hand
+/// `--cache=on|off`, `--json=PATH`, `--max-objects=N`, `--opf=REP`,
+/// `--frozen=on|off`) from argv, so google-benchmark binaries can hand
 /// the remaining arguments to `benchmark::Initialize` without tripping
 /// its unknown-flag check. Malformed values warn and keep the default.
 inline BenchFlags ParseBenchFlags(int* argc, char** argv,
@@ -103,16 +112,41 @@ inline BenchFlags ParseBenchFlags(int* argc, char** argv,
       }
       return true;
     };
-    consumed = numeric("--threads=", &flags.threads, /*require_pos=*/true) ||
-               numeric("--seed=", &flags.seed, /*require_pos=*/false);
-    if (!consumed && arg.rfind("--cache=", 0) == 0) {
-      const std::string value = arg.substr(std::strlen("--cache="));
+    auto onoff = [&](const char* prefix, bool* slot) {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) != 0) return false;
+      const std::string value = arg.substr(len);
       if (value == "on") {
-        flags.cache = true;
+        *slot = true;
       } else if (value == "off") {
-        flags.cache = false;
+        *slot = false;
       } else {
         std::fprintf(stderr, "ignoring malformed %s (want on|off)\n",
+                     arg.c_str());
+      }
+      return true;
+    };
+    consumed =
+        numeric("--threads=", &flags.threads, /*require_pos=*/true) ||
+        numeric("--seed=", &flags.seed, /*require_pos=*/false) ||
+        numeric("--max-objects=", &flags.max_objects, /*require_pos=*/true) ||
+        onoff("--cache=", &flags.cache) || onoff("--frozen=", &flags.frozen);
+    if (!consumed && arg.rfind("--json=", 0) == 0) {
+      flags.json = arg.substr(std::strlen("--json="));
+      consumed = true;
+    }
+    if (!consumed && arg.rfind("--opf=", 0) == 0) {
+      const std::string value = arg.substr(std::strlen("--opf="));
+      if (value == "explicit") {
+        flags.opf_style = OpfStyle::kExplicitTable;
+      } else if (value == "independent") {
+        flags.opf_style = OpfStyle::kIndependent;
+      } else if (value == "per-label") {
+        flags.opf_style = OpfStyle::kPerLabelProduct;
+      } else {
+        std::fprintf(stderr,
+                     "ignoring malformed %s (want explicit|independent|"
+                     "per-label)\n",
                      arg.c_str());
       }
       consumed = true;
@@ -122,6 +156,75 @@ inline BenchFlags ParseBenchFlags(int* argc, char** argv,
   *argc = out;
   return flags;
 }
+
+inline const char* OpfStyleName(OpfStyle style) {
+  switch (style) {
+    case OpfStyle::kExplicitTable:
+      return "explicit";
+    case OpfStyle::kIndependent:
+      return "independent";
+    case OpfStyle::kPerLabelProduct:
+      return "per-label";
+  }
+  return "?";
+}
+
+/// Minimal JSON emission for `--json=PATH`: a bench accumulates one flat
+/// object per sweep row and writes {"bench": ..., "seed": ..., "rows":
+/// [...]}. Every method is a no-op when no path was given, so call sites
+/// stay unconditional. Doubles are printed with %.17g (exact
+/// round-trip).
+class JsonLog {
+ public:
+  JsonLog(std::string bench, const BenchFlags& flags)
+      : bench_(std::move(bench)), path_(flags.json), seed_(flags.seed) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void NextRow() {
+    if (enabled()) rows_.emplace_back();
+  }
+  void Str(const char* key, const std::string& value) {
+    if (enabled()) Append(key, StrCat("\"", value, "\""));
+  }
+  void Int(const char* key, std::uint64_t value) {
+    if (enabled()) Append(key, StrCat(value));
+  }
+  void Num(const char* key, double value) {
+    if (!enabled()) return;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    Append(key, buf);
+  }
+
+  void Write() const {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench error: cannot open %s\n", path_.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"seed\":%llu,\"rows\":[",
+                 bench_.c_str(), static_cast<unsigned long long>(seed_));
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s{%s}", i == 0 ? "" : ",", rows_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+
+ private:
+  void Append(const char* key, const std::string& value) {
+    std::string& row = rows_.back();
+    if (!row.empty()) row += ',';
+    row += StrCat("\"", key, "\":", value);
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::uint64_t seed_;
+  std::vector<std::string> rows_;
+};
 
 /// Parses a `--threads=N` flag; returns `default_threads` when absent
 /// or malformed. Thin shim over ParseBenchFlags for benches that only
@@ -163,11 +266,22 @@ struct ProjectionRow {
   double update_ms = 0;   // the Fig 7(b) quantity
   double write_ms = 0;
   std::size_t kept_objects = 0;
+  // Representation-sensitive work counters, summed over all queries
+  // (DESIGN.md §9).
+  std::uint64_t opf_row_ops = 0;
+  std::uint64_t entries_materialized = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t frozen_passes = 0;
 };
 
 /// Runs the ancestor-projection experiment for one sweep point.
-inline ProjectionRow RunProjectionPoint(const SweepPoint& point,
-                                        std::uint64_t seed) {
+/// `opf_style` selects the generated OPF representation; with
+/// `frozen` the instance is compiled once per generated instance (the
+/// QueryEngine amortization model) and the marginalization pass runs on
+/// the compiled kernels.
+inline ProjectionRow RunProjectionPoint(
+    const SweepPoint& point, std::uint64_t seed,
+    OpfStyle opf_style = OpfStyle::kExplicitTable, bool frozen = false) {
   ProjectionRow row;
   row.point = point;
   auto [num_instances, num_queries] = Repetitions(
@@ -179,11 +293,18 @@ inline ProjectionRow RunProjectionPoint(const SweepPoint& point,
     config.depth = point.depth;
     config.branching = point.branching;
     config.labeling = point.scheme;
+    config.opf_style = opf_style;
     config.seed = seed + static_cast<std::uint64_t>(i) * 7919;
     auto inst = GenerateBalancedTree(config);
     BenchCheck(inst.status(), "generate");
     row.objects = inst->weak().num_objects();
     row.opf_entries = inst->TotalOpfEntries();
+    std::optional<FrozenInstance> snapshot;
+    if (frozen) {
+      auto fz = FrozenInstance::Freeze(*inst);
+      BenchCheck(fz.status(), "freeze");
+      snapshot.emplace(std::move(fz).ValueOrDie());
+    }
     for (int q = 0; q < num_queries; ++q) {
       auto path = GenerateAcceptedPath(*inst, query_rng);
       BenchCheck(path.status(), "path");
@@ -191,7 +312,8 @@ inline ProjectionRow RunProjectionPoint(const SweepPoint& point,
       ProbabilisticInstance copy = *inst;  // the paper's copy phase
       double copy_ms = MsSince(t0);
       ProjectionStats stats;
-      auto result = AncestorProject(copy, *path, &stats);
+      auto result = AncestorProject(copy, *path, &stats, {},
+                                    snapshot ? &*snapshot : nullptr);
       BenchCheck(result.status(), "project");
       auto tw = std::chrono::steady_clock::now();
       BenchCheck(WritePxmlFile(*result, scratch), "write");
@@ -203,6 +325,10 @@ inline ProjectionRow RunProjectionPoint(const SweepPoint& point,
       row.write_ms += write_ms;
       row.total_ms += MsSince(t0);
       row.kept_objects += stats.kept_objects;
+      row.opf_row_ops += stats.opf_row_ops;
+      row.entries_materialized += stats.entries_materialized;
+      row.bytes_allocated += stats.bytes_allocated;
+      row.frozen_passes += stats.frozen_passes;
       ++row.queries;
     }
   }

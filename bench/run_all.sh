@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the JSON-emitting benchmark binaries and assembles the checked-in
+# BENCH_<PR>.json baseline.
+#
+# Usage: bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build directory containing bench/ (default: build)
+#   OUT_DIR    where per-bench JSON files land (default: bench/out)
+#
+# The sweep caps (--max-objects) keep a full run under a couple of
+# minutes on one CPU; raise them for paper-scale series. The assembled
+# BENCH_3.json embeds the fig7a series (generic explicit, and per-label
+# with frozen kernels), the fig7c series, and the frozen-kernel counter
+# ablation. bench_opf_representations writes google-benchmark JSON into
+# OUT_DIR only (its output embeds machine context, so it is uploaded as
+# a CI artifact rather than checked in).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+OUT=${2:-bench/out}
+mkdir -p "$OUT"
+
+"$BUILD/bench/bench_fig7a_projection_total" --max-objects=5000 \
+    --json="$OUT/fig7a.json"
+"$BUILD/bench/bench_fig7a_projection_total" --max-objects=5000 \
+    --opf=per-label --frozen=on --json="$OUT/fig7a_perlabel_frozen.json"
+"$BUILD/bench/bench_fig7c_selection_total" --max-objects=5000 \
+    --json="$OUT/fig7c.json"
+"$BUILD/bench/bench_frozen_kernels" --check --json="$OUT/frozen_kernels.json"
+"$BUILD/bench/bench_opf_representations" --json="$OUT/opf_representations.json" \
+    --benchmark_min_time=0.01 >/dev/null
+
+{
+  printf '{"pr":3,"benches":{'
+  printf '"fig7a":';                  cat "$OUT/fig7a.json" | tr -d '\n'
+  printf ',"fig7a_perlabel_frozen":'; cat "$OUT/fig7a_perlabel_frozen.json" | tr -d '\n'
+  printf ',"fig7c":';                 cat "$OUT/fig7c.json" | tr -d '\n'
+  printf ',"frozen_kernels":';        cat "$OUT/frozen_kernels.json" | tr -d '\n'
+  printf '}}\n'
+} > BENCH_3.json
+
+echo "wrote BENCH_3.json (+ per-bench JSON in $OUT)"

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "prob/distribution.h"
+#include "query/frozen.h"
 #include "util/strings.h"
 
 namespace pxml {
@@ -59,11 +60,28 @@ void SetCardFromSupport(ObjectId o, LabelId l,
   weak->SetCard(o, l, IntInterval(lo, hi)).ok();
 }
 
+/// Per-worker reusable buffers for the marginalization pass. Frontier
+/// objects run concurrently on pool workers, so each worker needs a
+/// private accumulator; thread-local storage keeps its capacity across
+/// queries (pool workers are long-lived), so warm re-queries never
+/// allocate on the hot path.
+struct MarginScratch {
+  std::vector<double> acc;
+  std::vector<std::uint32_t> retained;
+};
+
+MarginScratch& LocalMarginScratch() {
+  static thread_local MarginScratch s;
+  return s;
+}
+
 }  // namespace
 
 Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
-    ProjectionStats* stats, const ParallelOptions& parallel) {
+    ProjectionStats* stats, const ParallelOptions& parallel,
+    const FrozenInstance* frozen, EpsilonScratch* scratch) {
+  (void)scratch;  // see the header: per-object buffers are thread-local
   const WeakInstance& weak = instance.weak();
   const std::size_t num_ids = weak.dict().num_objects();
   PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
@@ -111,6 +129,10 @@ Result<ProbabilisticInstance> AncestorProject(
   // New OPF tables for objects at depths n-1 .. 0.
   std::vector<std::unique_ptr<ExplicitOpf>> new_opf(num_ids);
   std::atomic<std::size_t> processed{0};
+  std::atomic<std::uint64_t> row_ops{0};
+  std::atomic<std::uint64_t> materialized{0};
+  std::atomic<std::uint64_t> hot_bytes{0};
+  const bool use_frozen = frozen != nullptr && frozen->InSyncWith(instance);
 
   // Marginalize/ε-update one frontier object. Reads eps/dropped of the
   // (finalized) next layer, writes only this object's eps / dropped /
@@ -119,19 +141,28 @@ Result<ProbabilisticInstance> AncestorProject(
   auto update_object = [&](ObjectId o, std::size_t level) -> Status {
     const bool children_are_targets = (level + 1 == n);
     const LabelId l = path.labels[level];
+    MarginScratch& ms = LocalMarginScratch();
+    std::uint64_t bytes = 0;
     // Retained children: potential l-children that are still alive in
-    // the next layer.
-    std::vector<std::uint32_t> retained;
-    for (ObjectId c : weak.Lch(o, l).Intersect(layers[level + 1])) {
-      if (!dropped[c]) retained.push_back(c);
+    // the next layer (ascending, so bit b of the accumulator index is
+    // rids[b] — the same mask convention mask_of used historically).
+    ms.retained.clear();
+    {
+      const std::size_t cap0 = ms.retained.capacity();
+      weak.Lch(o, l).ForEachIntersecting(
+          layers[level + 1], [&](ObjectId c) {
+            if (!dropped[c]) ms.retained.push_back(c);
+          });
+      bytes += (ms.retained.capacity() - cap0) * sizeof(std::uint32_t);
     }
+    const std::vector<std::uint32_t>& rids = ms.retained;
     const Opf* opf = instance.GetOpf(o);
     if (opf == nullptr) {
       return Status::FailedPrecondition(
           StrCat("non-leaf '", weak.dict().ObjectName(o),
                  "' has no OPF"));
     }
-    if (retained.size() > 20) {
+    if (rids.size() > 20) {
       return Status::InvalidArgument(
           "projection update too wide (>20 retained children)");
     }
@@ -139,33 +170,39 @@ Result<ProbabilisticInstance> AncestorProject(
     // (subset-of-retained -> probability). Keeps the inner loop free of
     // allocation; complexity is quadratic in the OPF size, matching the
     // paper's observation.
-    IdSet retained_set(std::move(retained));
-    const std::vector<std::uint32_t>& rids = retained_set.ids();
-    std::vector<double> acc(std::size_t{1} << rids.size(), 0.0);
-    auto mask_of = [&](const IdSet& part) {
+    {
+      const std::size_t need = std::size_t{1} << rids.size();
+      if (ms.acc.capacity() < need) {
+        bytes += (need - ms.acc.capacity()) * sizeof(double);
+      }
+      ms.acc.assign(need, 0.0);
+    }
+    std::vector<double>& acc = ms.acc;
+    // The retained part of an ascending child sequence, as a bitmask
+    // over rids (merge walk — no intersection materialized).
+    auto part_of = [&](const auto& kids) {
       std::size_t mask = 0;
-      for (std::size_t b = 0; b < rids.size(); ++b) {
-        if (part.Contains(rids[b])) mask |= std::size_t{1} << b;
+      std::size_t b = 0;
+      for (std::uint32_t c : kids) {
+        while (b < rids.size() && rids[b] < c) ++b;
+        if (b == rids.size()) break;
+        if (rids[b] == c) mask |= std::size_t{1} << b;
       }
       return mask;
     };
-    std::size_t rows_read = 0;
-    for (const OpfEntry& row : opf->Entries()) {
-      ++rows_read;
-      if (row.prob <= 0.0) continue;
-      std::size_t part = mask_of(row.child_set.Intersect(retained_set));
+    // Distribute one row's mass. Targets have ε = 1: pure
+    // marginalization onto the retained children (the paper's first
+    // bullet). General levels distribute the row over subsets of its
+    // retained children, weighting members by ε and non-members by
+    // (1 - ε) (the paper's third bullet), iterating submasks of `part`.
+    auto accumulate = [&](double prob, std::size_t part) {
       if (children_are_targets) {
-        // Targets have ε = 1: pure marginalization onto the retained
-        // children (the paper's first bullet).
-        acc[part] += row.prob;
-        continue;
+        acc[part] += prob;
+        return;
       }
-      // General level: distribute the row over subsets of its retained
-      // children, weighting members by ε and non-members by (1 - ε)
-      // (the paper's third bullet). Iterate submasks of `part`.
       std::size_t sub = part;
       for (;;) {
-        double w = row.prob;
+        double w = prob;
         for (std::size_t b = 0; b < rids.size(); ++b) {
           std::size_t bit = std::size_t{1} << b;
           if (!(part & bit)) continue;
@@ -175,8 +212,117 @@ Result<ProbabilisticInstance> AncestorProject(
         if (sub == 0) break;
         sub = (sub - 1) & part;
       }
+    };
+    std::size_t rows_read = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t mats = 0;
+    if (use_frozen) {
+      const FrozenInstance::Kernel& kern = frozen->kernel(o);
+      switch (kern.kind) {
+        case FrozenOpfKind::kLeaf:
+        case FrozenOpfKind::kMissing:
+          return Status::FailedPrecondition(
+              StrCat("non-leaf '", weak.dict().ObjectName(o),
+                     "' has no OPF"));
+        case FrozenOpfKind::kExplicit:
+          // Packed row spans, in the generic Entries() order — replays
+          // the generic accumulation bit-for-bit.
+          for (std::uint32_t r = kern.begin; r < kern.end; ++r) {
+            ++rows_read;
+            const double p = frozen->row_prob(r);
+            if (p <= 0.0) continue;
+            const auto rc = frozen->row_children(r);
+            ops += 1 + rc.size();
+            accumulate(p, part_of(rc));
+          }
+          break;
+        case FrozenOpfKind::kIndependent: {
+          // Closed form: retained child c lands in the surviving subset
+          // independently with probability p_c·ε_c (present AND its
+          // subtree survives); marginalized-out children sum to 1. Costs
+          // 2^|R|·|R| instead of enumerating the 2^b implicit rows.
+          const auto ic = frozen->ind_children(kern);
+          const auto ip = frozen->ind_probs(kern);
+          ops += ic.size();
+          double q[20];
+          for (std::size_t b = 0; b < rids.size(); ++b) {
+            q[b] = 0.0;  // a retained child outside the support: p = 0
+            for (std::size_t i = 0; i < ic.size(); ++i) {
+              if (ic[i] == rids[b]) {
+                q[b] = ip[i] * eps[rids[b]];
+                break;
+              }
+            }
+          }
+          for (std::size_t mask = 0; mask < acc.size(); ++mask) {
+            double w = 1.0;
+            for (std::size_t b = 0; b < rids.size(); ++b) {
+              w *= (mask & (std::size_t{1} << b)) ? q[b] : 1.0 - q[b];
+            }
+            acc[mask] = w;
+          }
+          break;
+        }
+        case FrozenOpfKind::kPerLabel: {
+          // Only the on-path-label factor's children can be retained
+          // (factors cover disjoint labels; Freeze verified each factor
+          // universe ⊆ lch(o, label)). Marginalize that factor's rows
+          // alone and scale by the off-path masses — Σ_l 2^{b_l} work
+          // instead of the generic Π_l 2^{b_l}.
+          double off_mass = 1.0;
+          bool found_on_path = false;
+          for (const FrozenInstance::Factor& f : frozen->factors(kern)) {
+            ++ops;
+            if (f.label != l) {
+              off_mass *= f.mass;
+              continue;
+            }
+            found_on_path = true;
+            for (std::uint32_t r = f.row_begin; r < f.row_end; ++r) {
+              ++rows_read;
+              const double p = frozen->row_prob(r);
+              if (p <= 0.0) continue;
+              const auto rc = frozen->row_children(r);
+              ops += 1 + rc.size();
+              accumulate(p, part_of(rc));
+            }
+          }
+          if (!found_on_path) {
+            // No factor covers the path label: every world's retained
+            // part is empty, so the whole mass sits on the empty set.
+            acc[0] += off_mass;
+          } else if (off_mass != 1.0) {
+            for (double& a : acc) a *= off_mass;
+          }
+          break;
+        }
+      }
+    } else if (const auto* ex = dynamic_cast<const ExplicitOpf*>(opf)) {
+      // Static fast path: iterate the stored rows in place (no
+      // materialized copy), bit-identical to the historical Entries()
+      // loop.
+      for (const OpfEntry& row : ex->rows()) {
+        ++rows_read;
+        if (row.prob <= 0.0) continue;
+        ops += 1 + row.child_set.size();
+        accumulate(row.prob, part_of(row.child_set.ids()));
+      }
+    } else {
+      // Generic fallback: stream rows through the visitor (compact
+      // representations enumerate lazily — counted as materialized).
+      opf->ForEachEntry([&](const OpfEntry& row) {
+        ++rows_read;
+        ++mats;
+        bytes += sizeof(OpfEntry) + row.child_set.size() * sizeof(ObjectId);
+        if (row.prob <= 0.0) return;
+        ops += 1 + row.child_set.size();
+        accumulate(row.prob, part_of(row.child_set.ids()));
+      });
     }
     processed.fetch_add(rows_read, std::memory_order_relaxed);
+    row_ops.fetch_add(ops, std::memory_order_relaxed);
+    if (mats != 0) materialized.fetch_add(mats, std::memory_order_relaxed);
+    if (bytes != 0) hot_bytes.fetch_add(bytes, std::memory_order_relaxed);
     // ε_o: mass of non-empty child sets.
     double e = 0.0;
     for (std::size_t mask = 1; mask < acc.size(); ++mask) e += acc[mask];
@@ -231,6 +377,10 @@ Result<ProbabilisticInstance> AncestorProject(
   if (stats != nullptr) {
     stats->update_seconds = Seconds(t2, t3);
     stats->processed_entries = processed.load(std::memory_order_relaxed);
+    stats->opf_row_ops = row_ops.load(std::memory_order_relaxed);
+    stats->entries_materialized = materialized.load(std::memory_order_relaxed);
+    stats->bytes_allocated = hot_bytes.load(std::memory_order_relaxed);
+    stats->frozen_passes = use_frozen ? 1 : 0;
   }
 
   // ---- Build the projected structure.

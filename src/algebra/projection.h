@@ -2,6 +2,7 @@
 #define PXML_ALGEBRA_PROJECTION_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
@@ -9,6 +10,9 @@
 #include "util/thread_pool.h"
 
 namespace pxml {
+
+class FrozenInstance;
+struct EpsilonScratch;
 
 /// Phase timings and counters for one projection, matching the cost
 /// breakdown of the paper's Section 7 experiments.
@@ -24,6 +28,21 @@ struct ProjectionStats {
   std::size_t kept_objects = 0;
   /// OPF rows read while updating ℘ ("entries processed" in §7.2).
   std::size_t processed_entries = 0;
+  /// Row visits + per-row child touches in the marginalization pass —
+  /// the representation-sensitive work metric (DESIGN.md §9). The
+  /// frozen per-label kernel only visits the on-path factor's rows, so
+  /// this drops by roughly Π_{off} 2^{b_l} versus the generic pass.
+  std::uint64_t opf_row_ops = 0;
+  /// OpfEntry rows materialized through the ForEachEntry fallback
+  /// (compact representations on the generic path). Zero whenever the
+  /// pass ran on frozen kernels or a static ExplicitOpf fast path.
+  std::uint64_t entries_materialized = 0;
+  /// Bytes of heap growth attributable to the marginalization hot path
+  /// (per-worker accumulator growth + fallback row materialization).
+  /// Zero on warm re-queries over frozen kernels.
+  std::uint64_t bytes_allocated = 0;
+  /// 1 if the update pass ran on an in-sync FrozenInstance snapshot.
+  std::uint64_t frozen_passes = 0;
 };
 
 /// Efficient ancestor projection Λ_p on a probabilistic instance
@@ -49,9 +68,22 @@ struct ProjectionStats {
 /// read their children's already-finalized values and write their own
 /// slots), so the result is bit-identical to the serial pass; the root
 /// level and the structure build remain sequential.
+///
+/// `frozen` (optional) routes the marginalization pass through the
+/// compiled kernels of an in-sync FrozenInstance snapshot (query/frozen.h):
+/// explicit tables replay the generic accumulation bit-for-bit from packed
+/// row spans; independent OPFs use the closed-form product
+/// acc[S] = Π_{c∈S} p_c ε_c · Π_{c∈R\S} (1 − p_c ε_c); per-label products
+/// marginalize only the on-path factor's rows and scale by the off-path
+/// masses, so compact representations agree with the generic pass to
+/// ~1e-12 rather than bit-for-bit. An out-of-sync (or null) snapshot falls
+/// back to the generic interpreter. `scratch` is accepted for symmetry
+/// with the ε pass; the marginalization pass keeps its per-object buffers
+/// in per-worker thread-local storage.
 Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
-    ProjectionStats* stats = nullptr, const ParallelOptions& parallel = {});
+    ProjectionStats* stats = nullptr, const ParallelOptions& parallel = {},
+    const FrozenInstance* frozen = nullptr, EpsilonScratch* scratch = nullptr);
 
 /// Efficient descendant projection: ancestor projection, plus every
 /// target keeps its original subtree (whose local interpretation is

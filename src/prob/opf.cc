@@ -9,6 +9,10 @@
 
 namespace pxml {
 
+void Opf::VisitEntries(EntryVisitor visit, void* ctx) const {
+  for (const OpfEntry& e : Entries()) visit(ctx, e);
+}
+
 double Opf::MarginalChildProb(ObjectId child) const {
   double p = 0.0;
   for (const OpfEntry& e : Entries()) {
@@ -102,6 +106,12 @@ double ExplicitOpf::Prob(const IdSet& child_set) const {
   return 0.0;
 }
 
+void ExplicitOpf::VisitEntries(EntryVisitor visit, void* ctx) const {
+  // In-place walk over the stored (canonical-order) rows: no allocation,
+  // no copy — the "explicit fallback never materializes Entries()" path.
+  for (const OpfEntry& e : rows_) visit(ctx, e);
+}
+
 IdSet ExplicitOpf::ChildUniverse() const {
   IdSet out;
   for (const OpfEntry& e : rows_) out = out.Union(e.child_set);
@@ -191,6 +201,29 @@ std::vector<OpfEntry> IndependentOpf::Entries() const {
     return a.child_set < b.child_set;
   });
   return out;
+}
+
+void IndependentOpf::VisitEntries(EntryVisitor visit, void* ctx) const {
+  // Lazy subset enumeration (binary-counter order over the sorted child
+  // list, not canonical IdSet order): one transient row alive at a time
+  // instead of the 2^n-row table Entries() builds.
+  const std::size_t n = children_.size();
+  std::vector<std::uint32_t> members;
+  members.reserve(n);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    members.clear();
+    double p = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        members.push_back(children_[i].first);
+        p *= children_[i].second;
+      } else {
+        p *= 1.0 - children_[i].second;
+      }
+    }
+    OpfEntry row{IdSet(members), p};
+    visit(ctx, row);
+  }
 }
 
 std::size_t IndependentOpf::NumEntries() const {
@@ -290,6 +323,31 @@ std::vector<OpfEntry> PerLabelProductOpf::Entries() const {
     return a.child_set < b.child_set;
   });
   return out;
+}
+
+void PerLabelProductOpf::VisitEntries(EntryVisitor visit, void* ctx) const {
+  // Lazy product enumeration (factor-nested order, not canonical): one
+  // combined row alive at a time instead of the full Π_l |table_l| cross
+  // product Entries() materializes.
+  struct Frame {
+    const PerLabelProductOpf* self;
+    EntryVisitor visit;
+    void* ctx;
+  } frame{this, visit, ctx};
+  struct Rec {
+    static void Go(const Frame& f, std::size_t i, const IdSet& members,
+                   double p) {
+      if (i == f.self->factors_.size()) {
+        OpfEntry row{members, p};
+        f.visit(f.ctx, row);
+        return;
+      }
+      for (const OpfEntry& e : f.self->factors_[i].table.rows()) {
+        Go(f, i + 1, members.Union(e.child_set), p * e.prob);
+      }
+    }
+  };
+  Rec::Go(frame, 0, IdSet(), 1.0);
 }
 
 std::size_t PerLabelProductOpf::NumEntries() const {

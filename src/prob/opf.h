@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "graph/symbols.h"
@@ -46,6 +47,28 @@ class Opf {
 
   /// Number of rows Entries() would produce.
   virtual std::size_t NumEntries() const = 0;
+
+  /// Streams every support row to `visit` without materializing the full
+  /// Entries() vector. ExplicitOpf streams its stored rows in place
+  /// (canonical order, zero allocation); the compact representations
+  /// enumerate their product lazily — one transient row at a time, in a
+  /// representation-defined order — so peak memory stays O(1) rows even
+  /// when the table is exponential. Callers that need canonical order
+  /// must use Entries().
+  template <typename Visitor>
+  void ForEachEntry(Visitor&& visit) const {
+    VisitEntries(
+        [](void* ctx, const OpfEntry& entry) {
+          (*static_cast<std::remove_reference_t<Visitor>*>(ctx))(entry);
+        },
+        &visit);
+  }
+
+  /// Type-erased visitation hook behind ForEachEntry; `visit(ctx, row)`
+  /// is called once per support row. The base implementation falls back
+  /// to materializing Entries().
+  using EntryVisitor = void (*)(void* ctx, const OpfEntry& entry);
+  virtual void VisitEntries(EntryVisitor visit, void* ctx) const;
 
   /// The set of children mentioned anywhere in the support.
   virtual IdSet ChildUniverse() const = 0;
@@ -95,6 +118,10 @@ class ExplicitOpf final : public Opf {
 
   double Prob(const IdSet& child_set) const override;
   std::vector<OpfEntry> Entries() const override { return rows_; }
+  /// The stored rows themselves (canonical order) — no copy; what hot
+  /// paths and the freezing compiler iterate.
+  const std::vector<OpfEntry>& rows() const { return rows_; }
+  void VisitEntries(EntryVisitor visit, void* ctx) const override;
   std::size_t NumEntries() const override { return rows_.size(); }
   IdSet ChildUniverse() const override;
   double MarginalChildProb(ObjectId child) const override;
@@ -128,6 +155,7 @@ class IndependentOpf final : public Opf {
 
   double Prob(const IdSet& child_set) const override;
   std::vector<OpfEntry> Entries() const override;
+  void VisitEntries(EntryVisitor visit, void* ctx) const override;
   std::size_t NumEntries() const override;
   IdSet ChildUniverse() const override;
   double MarginalChildProb(ObjectId child) const override;
@@ -163,6 +191,7 @@ class PerLabelProductOpf final : public Opf {
 
   double Prob(const IdSet& child_set) const override;
   std::vector<OpfEntry> Entries() const override;
+  void VisitEntries(EntryVisitor visit, void* ctx) const override;
   std::size_t NumEntries() const override;
   IdSet ChildUniverse() const override;
   double MarginalChildProb(ObjectId child) const override;

@@ -5,9 +5,13 @@ namespace pxml {
 namespace {
 
 /// Wrapper mode: borrow the caller's instance and keep the historical
-/// stateless behavior — no ε-memo cache survives between batches.
+/// stateless behavior — no ε-memo cache survives between batches, and no
+/// frozen snapshot is compiled (the borrowed instance may be mutated
+/// between batches without going through a facade, and the historical
+/// contract is bit-exact generic evaluation).
 BatchOptions WrapperOptions(BatchOptions options) {
   options.cache = false;
+  options.frozen = false;
   return options;
 }
 

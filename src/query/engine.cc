@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <ctime>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "query/frozen.h"
 #include "util/strings.h"
 
 namespace pxml {
@@ -75,6 +77,9 @@ QueryEngine::QueryEngine(ProbabilisticInstance instance, BatchOptions options)
   if (options_.cache) {
     cache_ = std::make_unique<EpsilonMemoCache>(options_.cache_capacity);
   }
+  if (options_.frozen) {
+    scratch_pool_ = std::make_unique<EpsilonScratchPool>();
+  }
 }
 
 QueryEngine::QueryEngine(const ProbabilisticInstance* instance,
@@ -88,6 +93,9 @@ QueryEngine::QueryEngine(const ProbabilisticInstance* instance,
   }
   if (options_.cache) {
     cache_ = std::make_unique<EpsilonMemoCache>(options_.cache_capacity);
+  }
+  if (options_.frozen) {
+    scratch_pool_ = std::make_unique<EpsilonScratchPool>();
   }
 }
 
@@ -105,18 +113,54 @@ std::size_t QueryEngine::cache_size() const {
   return cache_ != nullptr ? cache_->size() : 0;
 }
 
+std::shared_ptr<const FrozenInstance> QueryEngine::FrozenSnapshot() const {
+  if (!options_.frozen || scratch_pool_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(frozen_mu_);
+  if (frozen_snapshot_ != nullptr &&
+      frozen_snapshot_->InSyncWith(*instance_)) {
+    return frozen_snapshot_;
+  }
+  const std::uint64_t version = instance_->version();
+  const std::uint64_t structure = instance_->structure_version();
+  if (version == freeze_failed_version_ &&
+      structure == freeze_failed_structure_) {
+    return nullptr;  // unfreezable at this version; don't re-attempt
+  }
+  Result<FrozenInstance> frozen = FrozenInstance::Freeze(*instance_);
+  if (!frozen.ok()) {
+    freeze_failed_version_ = version;
+    freeze_failed_structure_ = structure;
+    frozen_snapshot_ = nullptr;
+    return nullptr;
+  }
+  frozen_snapshot_ = std::make_shared<const FrozenInstance>(
+      std::move(frozen).ValueOrDie());
+  return frozen_snapshot_;
+}
+
 BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
                                 ProjectionStats* projection_stats,
-                                const EpsilonHooks& hooks) const {
+                                const EpsilonHooks& hooks,
+                                const FrozenInstance* frozen) const {
   ParallelOptions parallel;
   parallel.pool = pool_.get();
   parallel.min_parallel_width = options_.min_parallel_width;
 
+  // Each query leases its own scratch arena: concurrent batch queries get
+  // private buffers, returned (warm) to the pool when the query finishes.
+  EpsilonHooks query_hooks = hooks;
+  std::optional<EpsilonScratchPool::Lease> lease;
+  if (frozen != nullptr && scratch_pool_ != nullptr) {
+    lease.emplace(scratch_pool_->Acquire());
+    query_hooks.frozen = frozen;
+    query_hooks.scratch = lease->get();
+  }
+
   BatchAnswer answer;
   switch (query.kind) {
     case BatchQuery::Kind::kPoint: {
-      Result<double> p =
-          PointQuery(*instance_, query.path, query.object, parallel, hooks);
+      Result<double> p = PointQuery(*instance_, query.path, query.object,
+                                    parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
       } else {
@@ -125,7 +169,8 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
       break;
     }
     case BatchQuery::Kind::kExists: {
-      Result<double> p = ExistsQuery(*instance_, query.path, parallel, hooks);
+      Result<double> p =
+          ExistsQuery(*instance_, query.path, parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
       } else {
@@ -134,8 +179,8 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
       break;
     }
     case BatchQuery::Kind::kValue: {
-      Result<double> p =
-          ValueQuery(*instance_, query.path, query.value, parallel, hooks);
+      Result<double> p = ValueQuery(*instance_, query.path, query.value,
+                                    parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
       } else {
@@ -144,8 +189,8 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
       break;
     }
     case BatchQuery::Kind::kCondition: {
-      Result<double> p = pxml::ConditionProbability(*instance_, query.condition,
-                                                    parallel, hooks);
+      Result<double> p = pxml::ConditionProbability(
+          *instance_, query.condition, parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
       } else {
@@ -155,7 +200,8 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
     }
     case BatchQuery::Kind::kAncestorProject: {
       Result<ProbabilisticInstance> projected =
-          AncestorProject(*instance_, query.path, projection_stats, parallel);
+          AncestorProject(*instance_, query.path, projection_stats, parallel,
+                          query_hooks.frozen, query_hooks.scratch);
       if (projected.ok()) {
         answer.projection = std::move(projected).ValueOrDie();
       } else {
@@ -194,6 +240,10 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
   // ε counters for this batch, shared by every query (atomic; exact).
   EpsilonStats eps_stats;
   const EpsilonHooks hooks = Hooks(&eps_stats);
+  // One snapshot for the whole batch (the shared lock pins the instance,
+  // so it cannot go stale mid-batch); the shared_ptr keeps it alive even
+  // if a later batch refreezes concurrently.
+  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
 
   std::vector<BatchAnswer> answers(queries.size());
   // Projection phase stats are accumulated per query slot and merged
@@ -202,13 +252,16 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
 
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      answers[i] = RunOne(queries[i], &projection_stats[i], hooks);
+      answers[i] = RunOne(queries[i], &projection_stats[i], hooks,
+                          frozen.get());
     }
   } else {
     TaskGroup group(pool_.get());
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      group.Run([this, &queries, &answers, &projection_stats, &hooks, i] {
-        answers[i] = RunOne(queries[i], &projection_stats[i], hooks);
+      group.Run([this, &queries, &answers, &projection_stats, &hooks, &frozen,
+                 i] {
+        answers[i] =
+            RunOne(queries[i], &projection_stats[i], hooks, frozen.get());
       });
     }
     group.Wait();
@@ -222,6 +275,10 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
       stats->update_seconds += ps.update_seconds;
       stats->kept_objects += ps.kept_objects;
       stats->processed_entries += ps.processed_entries;
+      stats->opf_row_ops += ps.opf_row_ops;
+      stats->entries_materialized += ps.entries_materialized;
+      stats->bytes_allocated += ps.bytes_allocated;
+      stats->frozen_passes += ps.frozen_passes;
     }
     stats->threads = threads();
     if (pool_ != nullptr) {
@@ -241,6 +298,14 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
     const EpsilonMemoCache::Stats cache1 = cache_stats();
     stats->cache_invalidated = cache1.invalidated - cache0.invalidated;
     stats->cache_evictions = cache1.evictions - cache0.evictions;
+    stats->opf_row_ops +=
+        eps_stats.opf_row_ops.load(std::memory_order_relaxed);
+    stats->entries_materialized +=
+        eps_stats.entries_materialized.load(std::memory_order_relaxed);
+    stats->bytes_allocated +=
+        eps_stats.bytes_allocated.load(std::memory_order_relaxed);
+    stats->frozen_passes +=
+        eps_stats.frozen_passes.load(std::memory_order_relaxed);
     stats->wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall0)
                               .count();
@@ -254,7 +319,15 @@ Result<double> QueryEngine::PointProbability(const PathExpression& path,
   if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
   std::shared_lock<std::shared_mutex> read_lock(mu_);
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  return PointQuery(*instance_, path, object, parallel, Hooks(nullptr));
+  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  EpsilonHooks hooks = Hooks(nullptr);
+  std::optional<EpsilonScratchPool::Lease> lease;
+  if (frozen != nullptr) {
+    lease.emplace(scratch_pool_->Acquire());
+    hooks.frozen = frozen.get();
+    hooks.scratch = lease->get();
+  }
+  return PointQuery(*instance_, path, object, parallel, hooks);
 }
 
 Result<double> QueryEngine::ExistsProbability(
@@ -262,7 +335,15 @@ Result<double> QueryEngine::ExistsProbability(
   if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
   std::shared_lock<std::shared_mutex> read_lock(mu_);
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  return ExistsQuery(*instance_, path, parallel, Hooks(nullptr));
+  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  EpsilonHooks hooks = Hooks(nullptr);
+  std::optional<EpsilonScratchPool::Lease> lease;
+  if (frozen != nullptr) {
+    lease.emplace(scratch_pool_->Acquire());
+    hooks.frozen = frozen.get();
+    hooks.scratch = lease->get();
+  }
+  return ExistsQuery(*instance_, path, parallel, hooks);
 }
 
 Result<double> QueryEngine::ValueProbability(const PathExpression& path,
@@ -270,7 +351,15 @@ Result<double> QueryEngine::ValueProbability(const PathExpression& path,
   if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
   std::shared_lock<std::shared_mutex> read_lock(mu_);
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  return ValueQuery(*instance_, path, value, parallel, Hooks(nullptr));
+  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  EpsilonHooks hooks = Hooks(nullptr);
+  std::optional<EpsilonScratchPool::Lease> lease;
+  if (frozen != nullptr) {
+    lease.emplace(scratch_pool_->Acquire());
+    hooks.frozen = frozen.get();
+    hooks.scratch = lease->get();
+  }
+  return ValueQuery(*instance_, path, value, parallel, hooks);
 }
 
 Result<double> QueryEngine::ConditionProbability(
@@ -278,7 +367,15 @@ Result<double> QueryEngine::ConditionProbability(
   if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
   std::shared_lock<std::shared_mutex> read_lock(mu_);
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  return pxml::ConditionProbability(*instance_, cond, parallel, Hooks(nullptr));
+  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  EpsilonHooks hooks = Hooks(nullptr);
+  std::optional<EpsilonScratchPool::Lease> lease;
+  if (frozen != nullptr) {
+    lease.emplace(scratch_pool_->Acquire());
+    hooks.frozen = frozen.get();
+    hooks.scratch = lease->get();
+  }
+  return pxml::ConditionProbability(*instance_, cond, parallel, hooks);
 }
 
 QueryEngine::MutationGuard::MutationGuard(QueryEngine* engine)

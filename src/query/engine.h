@@ -22,6 +22,8 @@
 
 namespace pxml {
 
+class EpsilonScratchPool;
+
 /// Configuration of a QueryEngine (and of the thin BatchQueryEngine
 /// wrapper, which predates it).
 struct BatchOptions {
@@ -41,6 +43,18 @@ struct BatchOptions {
   bool cache = true;
   /// LRU bound on the ε-memo cache (entries).
   std::size_t cache_capacity = EpsilonMemoCache::kDefaultCapacity;
+  /// Frozen-kernel switch. With it on, the engine lazily compiles the
+  /// instance into a FrozenInstance snapshot (see query/frozen.h) and
+  /// runs ε/marginalization passes through the representation-specialized
+  /// kernels with pooled scratch arenas; any mutation invalidates the
+  /// snapshot through the instance version counters and the next query
+  /// refreezes transparently. Results are bit-identical to the generic
+  /// interpreter for explicit/independent OPFs; per-label products use
+  /// the factored recurrence and agree to ~1e-12 (DESIGN.md §9). The
+  /// BatchQueryEngine wrapper forces this off to preserve its historical
+  /// bit-exact behavior. Instances that cannot be frozen (non-tree, OPF
+  /// rows naming non-children) silently use the generic path.
+  bool frozen = true;
 };
 
 /// Per-batch counters, extending the per-projection phase breakdown with
@@ -79,6 +93,19 @@ struct BatchStats : ProjectionStats {
   std::uint64_t cache_invalidated = 0;
   /// LRU evictions at the shared cache while the batch ran.
   std::uint64_t cache_evictions = 0;
+  /// Per-row OPF work performed during the batch, ε passes and projection
+  /// marginalization combined (see EpsilonStats::opf_row_ops for the
+  /// counting rule). The frozen-kernel win is this counter's ratio
+  /// between frozen-off and frozen-on runs of the same batch.
+  std::uint64_t opf_row_ops = 0;
+  /// Transient OPF rows materialized to serve the batch — always 0 when
+  /// every pass ran on the frozen kernels.
+  std::uint64_t entries_materialized = 0;
+  /// Tracked hot-path heap bytes (see EpsilonStats::bytes_allocated);
+  /// 0 for a warmed-up frozen re-query.
+  std::uint64_t bytes_allocated = 0;
+  /// ε/marginalization passes served by the frozen kernels.
+  std::uint64_t frozen_passes = 0;
 };
 
 /// One query of a batch: the Section-6.2 point/exists/value queries, a
@@ -238,18 +265,33 @@ class QueryEngine {
  private:
   BatchAnswer RunOne(const BatchQuery& query,
                      ProjectionStats* projection_stats,
-                     const EpsilonHooks& hooks) const;
+                     const EpsilonHooks& hooks,
+                     const FrozenInstance* frozen) const;
   /// Non-null iff the engine may mutate (owning mode).
   ProbabilisticInstance* mutable_instance() { return owned_.get(); }
   EpsilonHooks Hooks(EpsilonStats* stats) const {
     return EpsilonHooks{cache_.get(), stats};
   }
+  /// The current frozen snapshot, refrozen lazily if a mutation outdated
+  /// it; null when freezing is off or the instance cannot be frozen (the
+  /// failure is remembered per version, so an unfreezable instance does
+  /// not pay a Freeze attempt per query). Caller must hold the shared
+  /// lock; the shared_ptr keeps the snapshot alive across a concurrent
+  /// refreeze.
+  std::shared_ptr<const FrozenInstance> FrozenSnapshot() const;
 
   BatchOptions options_;
   std::unique_ptr<ProbabilisticInstance> owned_;  // null in borrowing mode
   const ProbabilisticInstance* instance_;         // never null
   std::unique_ptr<ThreadPool> pool_;              // null when threads() == 1
   std::unique_ptr<EpsilonMemoCache> cache_;       // null when options.cache off
+  std::unique_ptr<EpsilonScratchPool> scratch_pool_;  // null when frozen off
+
+  mutable std::mutex frozen_mu_;  // guards the three snapshot fields below
+  mutable std::shared_ptr<const FrozenInstance> frozen_snapshot_;
+  /// Versions at which the last Freeze attempt failed (~0 = none).
+  mutable std::uint64_t freeze_failed_version_ = ~0ull;
+  mutable std::uint64_t freeze_failed_structure_ = ~0ull;
 
   /// Writer gate. Queries check `mutators_` first (fail fast with kStale,
   /// and never self-deadlock when the guard's owner queries its own

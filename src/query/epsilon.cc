@@ -2,12 +2,23 @@
 
 #include <vector>
 
+#include "query/frozen.h"
 #include "util/strings.h"
 
 namespace pxml {
 
 Result<double> EpsilonPropagator::RootEpsilon(
     const PathExpression& path, std::span<const TargetEps> targets) const {
+  // Compiled route: when the caller supplied a frozen snapshot that still
+  // matches the instance, run the specialized kernels over it. The
+  // version check makes a stale snapshot a silent slow path, never a
+  // wrong answer.
+  if (frozen_ != nullptr && scratch_ != nullptr &&
+      frozen_->InSyncWith(instance_)) {
+    return FrozenRootEpsilon(*frozen_, instance_, path, targets, parallel_,
+                             cache_, stats_, scratch_);
+  }
+
   const WeakInstance& weak = instance_.weak();
   PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
   if (path.start != weak.root()) {
@@ -19,6 +30,7 @@ Result<double> EpsilonPropagator::RootEpsilon(
   const std::size_t n = path.labels.size();
 
   std::vector<double> eps(weak.dict().num_objects(), 0.0);
+  std::uint64_t pass_bytes = eps.size() * sizeof(double);
   for (const TargetEps& t : targets) {
     if (!layers[n].Contains(t.object)) {
       return Status::BadPath(StrCat("target id ", t.object,
@@ -26,7 +38,13 @@ Result<double> EpsilonPropagator::RootEpsilon(
     }
     eps[t.object] = t.eps;
   }
-  if (n == 0) return eps[weak.root()];
+  if (n == 0) {
+    if (stats_ != nullptr) {
+      stats_->bytes_allocated.fetch_add(pass_bytes,
+                                        std::memory_order_relaxed);
+    }
+    return eps[weak.root()];
+  }
 
   // Memo bookkeeping. fp[o] fingerprints the target configuration inside
   // o's subtree (object ids on the pruned match below o, plus the
@@ -51,6 +69,11 @@ Result<double> EpsilonPropagator::RootEpsilon(
       suffix[i] = suffix[i + 1];
       suffix[i].Mix(path.labels[i]);
     }
+    pass_bytes += fp.size() * sizeof(Fingerprint) +
+                  suffix.size() * sizeof(Fingerprint);
+  }
+  if (stats_ != nullptr) {
+    stats_->bytes_allocated.fetch_add(pass_bytes, std::memory_order_relaxed);
   }
 
   // ε of one frontier object from its children's (finalized) ε values,
@@ -87,28 +110,55 @@ Result<double> EpsilonPropagator::RootEpsilon(
           StrCat("non-leaf '", weak.dict().ObjectName(o), "' has no OPF"));
     }
     double e = 0.0;
+    std::uint64_t ops = 0;
+    std::uint64_t materialized = 0;
+    std::uint64_t bytes = retained.size() * sizeof(ObjectId);
     if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
       // §3.2 structure exploitation: with independent children,
       // ε_o = 1 - Π_{j ∈ R} (1 - p_j ε_j) in O(|children|) instead of
       // O(2^|children|) table rows.
       double none = 1.0;
+      ops += ind->children().size();
       for (const auto& [child, p] : ind->children()) {
         if (retained.Contains(child)) none *= 1.0 - p * eps[child];
       }
       e = 1.0 - none;
-    } else {
-      for (const OpfEntry& row : opf->Entries()) {
+    } else if (const auto* ex = dynamic_cast<const ExplicitOpf*>(opf)) {
+      // The stored rows in place — no Entries() copy, no per-row
+      // intersection materialization. Same visit order as the historical
+      // Entries()/Intersect walk, so identical bits.
+      for (const OpfEntry& row : ex->rows()) {
         if (row.prob <= 0.0) continue;
+        ops += 1 + row.child_set.size();
         double none = 1.0;
-        for (ObjectId j : row.child_set.Intersect(retained)) {
-          none *= 1.0 - eps[j];
-        }
+        row.child_set.ForEachIntersecting(
+            retained, [&](ObjectId j) { none *= 1.0 - eps[j]; });
         e += row.prob * (1.0 - none);
       }
+    } else {
+      // Generic fallback: stream the (possibly exponential) support one
+      // transient row at a time. Every streamed row is a materialized
+      // entry — the counter the frozen kernels drive to zero.
+      opf->ForEachEntry([&](const OpfEntry& row) {
+        ++materialized;
+        bytes += sizeof(OpfEntry) + row.child_set.size() * sizeof(ObjectId);
+        if (row.prob <= 0.0) return;
+        ops += 1 + row.child_set.size();
+        double none = 1.0;
+        row.child_set.ForEachIntersecting(
+            retained, [&](ObjectId j) { none *= 1.0 - eps[j]; });
+        e += row.prob * (1.0 - none);
+      });
     }
     eps[o] = e;
     if (stats_ != nullptr) {
       stats_->recomputed.fetch_add(1, std::memory_order_relaxed);
+      stats_->opf_row_ops.fetch_add(ops, std::memory_order_relaxed);
+      if (materialized != 0) {
+        stats_->entries_materialized.fetch_add(materialized,
+                                               std::memory_order_relaxed);
+      }
+      stats_->bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
     }
     if (cache_ != nullptr) cache_->Insert(key, e, instance_.version());
     return Status::Ok();

@@ -33,7 +33,29 @@ struct EpsilonStats {
   /// Memo lookups attempted / served (0 without a cache).
   std::atomic<std::uint64_t> cache_lookups{0};
   std::atomic<std::uint64_t> cache_hits{0};
+  /// Per-row OPF work: +1 per support row visited during an ε evaluation
+  /// plus +1 per child slot of that row (for independent OPFs, +1 per
+  /// (child, p) entry; for per-label factors, +1 per factor). The
+  /// representation-specialization wins assert on the ratio of this
+  /// counter between the generic and frozen paths.
+  std::atomic<std::uint64_t> opf_row_ops{0};
+  /// Transient OpfEntry rows constructed to serve an evaluation: compact
+  /// representations streamed through Opf::ForEachEntry count one per
+  /// enumerated row; ExplicitOpf rows iterated in place and frozen
+  /// kernels count zero.
+  std::atomic<std::uint64_t> entries_materialized{0};
+  /// Tracked hot-path heap bytes: scratch-arena capacity growth on the
+  /// frozen path (zero once warm) and, on the generic path, the size of
+  /// the per-pass ε/fingerprint tables, the per-object retained sets and
+  /// any materialized transient rows. Not a full malloc audit — a lower
+  /// bound that is exactly 0 for a warmed-up frozen re-query.
+  std::atomic<std::uint64_t> bytes_allocated{0};
+  /// ε passes answered by the frozen kernels (vs the generic interpreter).
+  std::atomic<std::uint64_t> frozen_passes{0};
 };
+
+class FrozenInstance;
+struct EpsilonScratch;
 
 /// The ε-propagation engine of Section 6.2. For a tree-shaped
 /// probabilistic instance, a path expression p, and per-target "survival"
@@ -63,14 +85,26 @@ struct EpsilonStats {
 /// passes are bit-identical.
 class EpsilonPropagator {
  public:
+  /// With a `frozen` snapshot that is in sync with `instance`
+  /// (FrozenInstance::InSyncWith), RootEpsilon runs the compiled kernels
+  /// over the snapshot with the (required, in that case) `scratch` arena
+  /// instead of interpreting OPFs — same results (bit-identical for
+  /// explicit/independent OPFs, 1e-12 for per-label products, see
+  /// DESIGN.md §9). An out-of-sync snapshot silently falls back to the
+  /// generic interpreter, so a stale pointer can cost speed, never
+  /// correctness.
   explicit EpsilonPropagator(const ProbabilisticInstance& instance,
                              ParallelOptions parallel = {},
                              EpsilonMemoCache* cache = nullptr,
-                             EpsilonStats* stats = nullptr)
+                             EpsilonStats* stats = nullptr,
+                             const FrozenInstance* frozen = nullptr,
+                             EpsilonScratch* scratch = nullptr)
       : instance_(instance),
         parallel_(parallel),
         cache_(cache),
-        stats_(stats) {}
+        stats_(stats),
+        frozen_(frozen),
+        scratch_(scratch) {}
 
   /// ε_root for the given path with the given target survival
   /// probabilities. Targets must all lie in the path's final pruned
@@ -85,6 +119,8 @@ class EpsilonPropagator {
   ParallelOptions parallel_;
   EpsilonMemoCache* cache_;
   EpsilonStats* stats_;
+  const FrozenInstance* frozen_;
+  EpsilonScratch* scratch_;
 };
 
 }  // namespace pxml

@@ -1,0 +1,454 @@
+#include "query/frozen.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace pxml {
+
+namespace {
+
+/// Charges any capacity growth of `v` since `cap_before` to the arena.
+template <typename T>
+void ChargeGrowth(EpsilonScratch* scratch, const std::vector<T>& v,
+                  std::size_t cap_before) {
+  if (v.capacity() > cap_before) {
+    scratch->bytes_grown += (v.capacity() - cap_before) * sizeof(T);
+  }
+}
+
+}  // namespace
+
+Result<FrozenInstance> FrozenInstance::Freeze(
+    const ProbabilisticInstance& instance) {
+  const WeakInstance& weak = instance.weak();
+  PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+
+  FrozenInstance fz;
+  // Captured before compilation: a mutation racing Freeze would make the
+  // snapshot look older than it is and refreeze — safe in both directions.
+  fz.version_ = instance.version();
+  fz.structure_version_ = instance.structure_version();
+  fz.root_ = weak.root();
+
+  const std::size_t num_ids = weak.dict().num_objects();
+  fz.obj_labels_.resize(num_ids);
+  fz.kernels_.resize(num_ids);
+  fz.row_child_begin_.push_back(0);  // CSR sentinel: row r = [begin[r], begin[r+1])
+
+  // Bottom-up topological order by iterative post-order DFS from the
+  // root; CheckWeakTree guarantees unique parents and full reachability,
+  // so every present object is emitted exactly once, after all of its
+  // potential descendants.
+  fz.topo_order_.reserve(weak.num_objects());
+  {
+    struct Frame {
+      ObjectId object;
+      IdSet kids;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({fz.root_, weak.AllPotentialChildren(fz.root_)});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next < top.kids.size()) {
+        ObjectId c = top.kids[top.next++];
+        stack.push_back({c, weak.AllPotentialChildren(c)});
+      } else {
+        fz.topo_order_.push_back(top.object);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // pc_label[c] = l + 1 while compiling the object that has c in
+  // lch(o, l); 0 otherwise. This is both the label-disjointness check and
+  // the row-verification oracle that lets the hot kernels replace the
+  // per-row `child_set ∩ Lch(o, l) ∩ next_layer` of the generic
+  // interpreter with a single next-layer membership test.
+  std::vector<std::uint32_t> pc_label(num_ids, 0);
+
+  for (ObjectId o : fz.topo_order_) {
+    Span ls;
+    ls.begin = static_cast<std::uint32_t>(fz.label_ranges_.size());
+    const std::uint32_t child_begin =
+        static_cast<std::uint32_t>(fz.child_ids_.size());
+    Status st = Status::Ok();
+    for (LabelId l : weak.LabelsOf(o)) {
+      LabelRange range;
+      range.label = l;
+      range.begin = static_cast<std::uint32_t>(fz.child_ids_.size());
+      for (ObjectId c : weak.Lch(o, l)) {
+        if (pc_label[c] != 0) {
+          st = Status::FailedPrecondition(
+              StrCat("cannot freeze: object ", c, " is a potential child of '",
+                     weak.dict().ObjectName(o), "' under two labels"));
+          break;
+        }
+        pc_label[c] = l + 1;
+        fz.child_ids_.push_back(c);
+      }
+      if (!st.ok()) break;
+      range.end = static_cast<std::uint32_t>(fz.child_ids_.size());
+      fz.label_ranges_.push_back(range);
+    }
+    ls.end = static_cast<std::uint32_t>(fz.label_ranges_.size());
+    fz.obj_labels_[o] = ls;
+
+    Kernel k;
+    if (st.ok()) {
+      const bool leaf = ls.begin == ls.end;
+      const Opf* opf = leaf ? nullptr : instance.GetOpf(o);
+      if (leaf) {
+        k.kind = FrozenOpfKind::kLeaf;
+      } else if (opf == nullptr) {
+        // Mirrors the generic interpreter: freezing succeeds, evaluating
+        // this object fails.
+        k.kind = FrozenOpfKind::kMissing;
+      } else if (const auto* ex = dynamic_cast<const ExplicitOpf*>(opf)) {
+        k.kind = FrozenOpfKind::kExplicit;
+        k.begin = static_cast<std::uint32_t>(fz.row_prob_.size());
+        for (const OpfEntry& row : ex->rows()) {
+          for (ObjectId c : row.child_set) {
+            if (c >= num_ids || pc_label[c] == 0) {
+              st = Status::FailedPrecondition(
+                  StrCat("cannot freeze: OPF row of '",
+                         weak.dict().ObjectName(o), "' mentions object ", c,
+                         " which is not a potential child"));
+              break;
+            }
+          }
+          if (!st.ok()) break;
+          fz.row_prob_.push_back(row.prob);
+          for (ObjectId c : row.child_set) fz.row_children_.push_back(c);
+          fz.row_child_begin_.push_back(
+              static_cast<std::uint32_t>(fz.row_children_.size()));
+        }
+        k.end = static_cast<std::uint32_t>(fz.row_prob_.size());
+      } else if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
+        k.kind = FrozenOpfKind::kIndependent;
+        k.begin = static_cast<std::uint32_t>(fz.ind_child_.size());
+        for (const auto& [c, p] : ind->children()) {
+          if (c >= num_ids || pc_label[c] == 0) {
+            st = Status::FailedPrecondition(
+                StrCat("cannot freeze: independent OPF of '",
+                       weak.dict().ObjectName(o), "' mentions object ", c,
+                       " which is not a potential child"));
+            break;
+          }
+          fz.ind_child_.push_back(c);
+          fz.ind_prob_.push_back(p);
+        }
+        k.end = static_cast<std::uint32_t>(fz.ind_child_.size());
+      } else if (const auto* pl =
+                     dynamic_cast<const PerLabelProductOpf*>(opf)) {
+        k.kind = FrozenOpfKind::kPerLabel;
+        k.begin = static_cast<std::uint32_t>(fz.factors_.size());
+        for (const auto& [fl, table] : pl->factor_views()) {
+          // The factored recurrence identifies the on-path factor by
+          // label, so factor universes must live under their own label's
+          // lch set and labels must be distinct.
+          for (std::size_t fi = k.begin; fi < fz.factors_.size(); ++fi) {
+            if (fz.factors_[fi].label == fl) {
+              st = Status::FailedPrecondition(
+                  StrCat("cannot freeze: per-label OPF of '",
+                         weak.dict().ObjectName(o),
+                         "' has two factors for label ", fl));
+            }
+          }
+          if (!st.ok()) break;
+          Factor f;
+          f.label = fl;
+          f.row_begin = static_cast<std::uint32_t>(fz.row_prob_.size());
+          f.mass = 0.0;
+          for (const OpfEntry& row : table->rows()) {
+            for (ObjectId c : row.child_set) {
+              if (c >= num_ids || pc_label[c] != fl + 1) {
+                st = Status::FailedPrecondition(StrCat(
+                    "cannot freeze: per-label OPF factor for label ", fl,
+                    " of '", weak.dict().ObjectName(o), "' mentions object ",
+                    c, " outside lch(o, ", fl, ")"));
+                break;
+              }
+            }
+            if (!st.ok()) break;
+            f.mass += row.prob;
+            fz.row_prob_.push_back(row.prob);
+            for (ObjectId c : row.child_set) fz.row_children_.push_back(c);
+            fz.row_child_begin_.push_back(
+                static_cast<std::uint32_t>(fz.row_children_.size()));
+          }
+          if (!st.ok()) break;
+          f.row_end = static_cast<std::uint32_t>(fz.row_prob_.size());
+          fz.factors_.push_back(f);
+        }
+        k.end = static_cast<std::uint32_t>(fz.factors_.size());
+      } else {
+        st = Status::FailedPrecondition(
+            StrCat("cannot freeze OPF representation '",
+                   opf->RepresentationName(), "' of '",
+                   weak.dict().ObjectName(o), "'"));
+      }
+    }
+
+    for (std::uint32_t i = child_begin; i < fz.child_ids_.size(); ++i) {
+      pc_label[fz.child_ids_[i]] = 0;
+    }
+    PXML_RETURN_IF_ERROR(st);
+    fz.kernels_[o] = k;
+  }
+  return fz;
+}
+
+Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
+                                 const ProbabilisticInstance& instance,
+                                 const PathExpression& path,
+                                 std::span<const TargetEps> targets,
+                                 const ParallelOptions& parallel,
+                                 EpsilonMemoCache* cache, EpsilonStats* stats,
+                                 EpsilonScratch* scratch) {
+  if (path.start != frozen.root()) {
+    return Status::BadPath("epsilon propagation paths must start at the root");
+  }
+  const std::size_t n = path.labels.size();
+  const std::size_t num_ids = frozen.num_ids();
+  EpsilonScratch* s = scratch;
+
+  // Pruned path layers K_0..K_n over the frozen CSR structure: forward
+  // collect (a tree never produces duplicates, so a sort restores the
+  // canonical ascending order IdSet unions would give), then prune
+  // backward keeping objects with a next-layer child. Semantically
+  // identical to PrunedWeakPathLayers, without building IdSets.
+  s->SizeTo(s->layers, n + 1);
+  s->FillTo<std::uint8_t>(s->mark, num_ids, 0);
+  {
+    std::vector<ObjectId>& first = s->layers[0];
+    const std::size_t cap0 = first.capacity();
+    first.clear();
+    first.push_back(path.start);
+    ChargeGrowth(s, first, cap0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<ObjectId>& next = s->layers[i + 1];
+    const std::size_t cap0 = next.capacity();
+    next.clear();
+    for (ObjectId o : s->layers[i]) {
+      for (ObjectId j : frozen.children(o, path.labels[i])) {
+        next.push_back(j);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    ChargeGrowth(s, next, cap0);
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    for (ObjectId j : s->layers[i + 1]) s->mark[j] = 1;
+    std::vector<ObjectId>& layer = s->layers[i];
+    std::size_t kept = 0;
+    for (ObjectId o : layer) {
+      bool has_child = false;
+      for (ObjectId j : frozen.children(o, path.labels[i])) {
+        if (s->mark[j]) {
+          has_child = true;
+          break;
+        }
+      }
+      if (has_child) layer[kept++] = o;
+    }
+    layer.resize(kept);
+    for (ObjectId j : s->layers[i + 1]) s->mark[j] = 0;
+  }
+
+  s->FillTo(s->eps, num_ids, 0.0);
+  {
+    const std::vector<ObjectId>& final_layer = s->layers[n];
+    for (ObjectId j : final_layer) s->mark[j] = 1;
+    for (const TargetEps& t : targets) {
+      if (t.object >= num_ids || !s->mark[t.object]) {
+        for (ObjectId j : final_layer) s->mark[j] = 0;
+        return Status::BadPath(StrCat(
+            "target id ", t.object, " does not satisfy the path expression"));
+      }
+      s->eps[t.object] = t.eps;
+    }
+    for (ObjectId j : final_layer) s->mark[j] = 0;
+  }
+  if (stats != nullptr) {
+    stats->frozen_passes.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (n == 0) {
+    if (stats != nullptr) {
+      stats->bytes_allocated.fetch_add(s->TakeBytesGrown(),
+                                       std::memory_order_relaxed);
+    }
+    return s->eps[frozen.root()];
+  }
+
+  // Memo bookkeeping — fingerprints must be computed exactly as the
+  // generic interpreter computes them so entries are interchangeable
+  // between the two paths (see epsilon.cc for the key layout).
+  if (cache != nullptr) {
+    cache->SyncStructureVersion(instance.structure_version());
+    s->SizeTo(s->fp, num_ids);
+    for (ObjectId t : s->layers[n]) {
+      Fingerprint f;
+      f.Mix(t);
+      f.MixDouble(s->eps[t]);
+      s->fp[t] = f;
+    }
+    s->SizeTo(s->suffix, n + 1);
+    s->suffix[n] = Fingerprint{};
+    for (std::size_t i = n; i-- > 0;) {
+      s->suffix[i] = s->suffix[i + 1];
+      s->suffix[i].Mix(path.labels[i]);
+    }
+  }
+
+  // ε of one frontier object via its compiled kernel. During a level,
+  // mark[j] == 1 ⟺ j is in the pruned next layer; Freeze verified every
+  // kernel child is a declared potential child of its object, and in a
+  // tree a potential child of o that reaches the next layer necessarily
+  // got there through o under the level's label — so the single mark test
+  // equals the generic `∈ Lch(o, l) ∩ next_layer` membership, and each
+  // mark slot is read only by the unique parent of j (no races). Writes
+  // only its own eps/fp slots; per-row accumulation order matches the
+  // generic interpreter exactly for explicit/independent kernels.
+  auto process = [&](ObjectId o, std::size_t level, LabelId l) -> Status {
+    const std::span<const ObjectId> kids = frozen.children(o, l);
+    Fingerprint key;
+    if (cache != nullptr) {
+      Fingerprint f;
+      f.Mix(o);
+      for (ObjectId j : kids) {
+        if (s->mark[j]) f.MixFingerprint(s->fp[j]);
+      }
+      s->fp[o] = f;
+      key = f;
+      key.MixFingerprint(s->suffix[level]);
+      if (stats != nullptr) {
+        stats->cache_lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (std::optional<double> hit =
+              cache->Lookup(key, instance.SubtreeChangeVersion(o))) {
+        if (stats != nullptr) {
+          stats->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        s->eps[o] = *hit;
+        return Status::Ok();
+      }
+    }
+    const FrozenInstance::Kernel& k = frozen.kernel(o);
+    double e = 0.0;
+    std::uint64_t ops = 0;
+    switch (k.kind) {
+      case FrozenOpfKind::kLeaf:
+      case FrozenOpfKind::kMissing:
+        return Status::FailedPrecondition(StrCat(
+            "non-leaf '", instance.dict().ObjectName(o), "' has no OPF"));
+      case FrozenOpfKind::kExplicit: {
+        for (std::uint32_t r = k.begin; r < k.end; ++r) {
+          const double p = frozen.row_prob(r);
+          if (p <= 0.0) continue;
+          const std::span<const ObjectId> rc = frozen.row_children(r);
+          ops += 1 + rc.size();
+          double none = 1.0;
+          for (ObjectId j : rc) {
+            if (s->mark[j]) none *= 1.0 - s->eps[j];
+          }
+          e += p * (1.0 - none);
+        }
+        break;
+      }
+      case FrozenOpfKind::kIndependent: {
+        const std::span<const ObjectId> ic = frozen.ind_children(k);
+        const std::span<const double> ip = frozen.ind_probs(k);
+        ops += ic.size();
+        double none = 1.0;
+        for (std::size_t i = 0; i < ic.size(); ++i) {
+          if (s->mark[ic[i]]) none *= 1.0 - ip[i] * s->eps[ic[i]];
+        }
+        e = 1.0 - none;
+        break;
+      }
+      case FrozenOpfKind::kPerLabel: {
+        // Factored recurrence (DESIGN.md §9): only the on-path label's
+        // factor sees retained children; every other factor contributes
+        // its precomputed mass. Σ_l 2^{b_l} instead of Π_l 2^{b_l}.
+        double mass_all = 1.0;
+        double survive_all = 1.0;
+        for (const FrozenInstance::Factor& f : frozen.factors(k)) {
+          ops += 1;
+          mass_all *= f.mass;
+          if (f.label != l) {
+            survive_all *= f.mass;
+            continue;
+          }
+          double sum = 0.0;
+          for (std::uint32_t r = f.row_begin; r < f.row_end; ++r) {
+            const double p = frozen.row_prob(r);
+            if (p <= 0.0) continue;
+            const std::span<const ObjectId> rc = frozen.row_children(r);
+            ops += 1 + rc.size();
+            double none = 1.0;
+            for (ObjectId j : rc) {
+              if (s->mark[j]) none *= 1.0 - s->eps[j];
+            }
+            sum += p * none;
+          }
+          survive_all *= sum;
+        }
+        e = mass_all - survive_all;
+        break;
+      }
+    }
+    s->eps[o] = e;
+    if (stats != nullptr) {
+      stats->recomputed.fetch_add(1, std::memory_order_relaxed);
+      stats->opf_row_ops.fetch_add(ops, std::memory_order_relaxed);
+    }
+    if (cache != nullptr) cache->Insert(key, e, instance.version());
+    return Status::Ok();
+  };
+
+  for (std::size_t level = n; level-- > 0;) {
+    const LabelId l = path.labels[level];
+    const std::vector<ObjectId>& frontier = s->layers[level];
+    const std::vector<ObjectId>& next = s->layers[level + 1];
+    for (ObjectId j : next) s->mark[j] = 1;
+    Status level_status = Status::Ok();
+    if (parallel.pool != nullptr && frontier.size() > 1 &&
+        frontier.size() >= parallel.min_parallel_width) {
+      s->SizeTo(s->statuses, frontier.size());
+      const std::size_t grain = std::max<std::size_t>(
+          1, frontier.size() / (4 * parallel.pool->num_threads() + 1));
+      ParallelFor(parallel.pool, frontier.size(), grain,
+                  [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t k = begin; k < end; ++k) {
+                      s->statuses[k] = process(frontier[k], level, l);
+                    }
+                  });
+      // Deterministic error selection: first failure in frontier order.
+      for (std::size_t k = 0; k < frontier.size(); ++k) {
+        if (!s->statuses[k].ok()) {
+          level_status = s->statuses[k];
+          break;
+        }
+      }
+    } else {
+      for (ObjectId o : frontier) {
+        level_status = process(o, level, l);
+        if (!level_status.ok()) break;
+      }
+    }
+    for (ObjectId j : next) s->mark[j] = 0;
+    PXML_RETURN_IF_ERROR(level_status);
+  }
+  if (stats != nullptr) {
+    stats->bytes_allocated.fetch_add(s->TakeBytesGrown(),
+                                     std::memory_order_relaxed);
+  }
+  return s->eps[frozen.root()];
+}
+
+}  // namespace pxml

@@ -1,0 +1,295 @@
+#ifndef PXML_QUERY_FROZEN_H_
+#define PXML_QUERY_FROZEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/probabilistic_instance.h"
+#include "graph/path.h"
+#include "query/epsilon.h"
+#include "query/epsilon_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pxml {
+
+/// The compiled form of one object's OPF inside a FrozenInstance
+/// (DESIGN.md §9). `begin`/`end` index a kind-specific flat array:
+/// explicit rows, independent (child, p) entries, or per-label factor
+/// blocks. One byte of tag replaces a virtual dispatch + dynamic_cast
+/// per evaluation.
+enum class FrozenOpfKind : std::uint8_t {
+  kLeaf = 0,     ///< no lch entries — never evaluated
+  kMissing,      ///< non-leaf without ℘(o): evaluating it is an error
+  kExplicit,    ///< packed row spans; ε costs O(2^b · b)
+  kIndependent,  ///< (child, p) span; ε costs O(b)
+  kPerLabel,     ///< per-label row blocks; ε costs Σ_l 2^{b_l}
+};
+
+/// A reusable scratch arena for one ε-propagation / marginalization pass.
+/// All buffers keep their capacity between passes, so a warmed-up arena
+/// makes re-queries allocation-free; capacity growth is tallied in
+/// `bytes_grown` so the zero-allocation claim is counter-verifiable
+/// (wall clock is unobservable in a 1-CPU container).
+struct EpsilonScratch {
+  // ε propagation over the frozen form. (The projection marginalization
+  // pass keeps its per-object buffers in per-worker thread-local storage
+  // instead — its frontier objects run concurrently on pool workers and
+  // need private accumulators.)
+  std::vector<double> eps;
+  std::vector<std::uint8_t> mark;  // pruned-layer membership bitmap
+  std::vector<Fingerprint> fp;
+  std::vector<Fingerprint> suffix;
+  std::vector<std::vector<ObjectId>> layers;
+  std::vector<Status> statuses;
+
+  /// Bytes of heap capacity grown since the last Take (0 once warm).
+  std::uint64_t bytes_grown = 0;
+
+  std::uint64_t TakeBytesGrown() {
+    std::uint64_t b = bytes_grown;
+    bytes_grown = 0;
+    return b;
+  }
+
+  /// resize-with-accounting: any capacity growth is charged to
+  /// `bytes_grown` before the resize happens.
+  template <typename T>
+  void SizeTo(std::vector<T>& v, std::size_t n) {
+    if (v.capacity() < n) {
+      bytes_grown += (n - v.capacity()) * sizeof(T);
+      v.reserve(n);
+    }
+    v.resize(n);
+  }
+  template <typename T>
+  void FillTo(std::vector<T>& v, std::size_t n, const T& value) {
+    if (v.capacity() < n) {
+      bytes_grown += (n - v.capacity()) * sizeof(T);
+      v.reserve(n);
+    }
+    v.assign(n, value);
+  }
+};
+
+/// A mutex-guarded freelist of scratch arenas, owned by the
+/// QueryEngine/BatchQueryEngine facade. Acquire() pops a warmed arena (or
+/// allocates a cold one on first use); the Lease returns it on
+/// destruction, so concurrent queries each get a private arena and
+/// steady-state query traffic never allocates scratch.
+class EpsilonScratchPool {
+ public:
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), scratch_(std::move(other.scratch_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->Release(std::move(scratch_));
+    }
+
+    EpsilonScratch* get() { return scratch_.get(); }
+    EpsilonScratch* operator->() { return scratch_.get(); }
+
+   private:
+    friend class EpsilonScratchPool;
+    Lease(EpsilonScratchPool* pool, std::unique_ptr<EpsilonScratch> scratch)
+        : pool_(pool), scratch_(std::move(scratch)) {}
+
+    EpsilonScratchPool* pool_;
+    std::unique_ptr<EpsilonScratch> scratch_;
+  };
+
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<EpsilonScratch> s = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(s));
+      }
+    }
+    return Lease(this, std::make_unique<EpsilonScratch>());
+  }
+
+ private:
+  void Release(std::unique_ptr<EpsilonScratch> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<EpsilonScratch>> free_;
+};
+
+/// An immutable compiled snapshot of a tree-shaped probabilistic
+/// instance: the weak structure flattened into CSR-style contiguous
+/// child/label arrays (laid out in bottom-up topological order, so a
+/// bottom-up pass streams forward through memory), and every OPF
+/// compiled into a tagged kernel descriptor — explicit tables as packed
+/// row spans, independent OPFs as (child, p) arrays, per-label products
+/// as per-label row blocks with their precomputed factor masses. The hot
+/// ε/marginalization loops over this form perform no virtual dispatch,
+/// no dynamic_cast, and no per-evaluation materialization.
+///
+/// Snapshot contract: Freeze captures the instance's version() and
+/// structure_version(); InSyncWith() is true exactly while no mutation
+/// has gone through the instance API since. Consumers must check
+/// InSyncWith before trusting the snapshot and fall back to the generic
+/// interpreter (or refreeze) when it fails — QueryEngine refreezes
+/// transparently, preserving the ε-memo cache's kStale semantics.
+///
+/// Determinism: the explicit and independent kernels replay the generic
+/// interpreter's exact per-object accumulation order, so their ε values
+/// are bit-identical to the unfrozen path at every thread count. The
+/// per-label kernel uses the factored recurrence
+///   ε_o = Π_l mass_l − Π_l S_l,   S_l = Σ_{c_l} P_l(c_l) Π_{j ∈ c_l ∩ R}
+///         (1 − ε_j)
+/// (cost Σ_l 2^{b_l} instead of the generic Π_l 2^{b_l}); it is equal in
+/// exact arithmetic but associates differently, so per-label ε agrees
+/// with the generic path to ~1e-12 rather than bit-for-bit.
+class FrozenInstance {
+ public:
+  /// One contiguous run of same-label potential children of an object.
+  struct LabelRange {
+    LabelId label;
+    std::uint32_t begin;  // into child_ids()
+    std::uint32_t end;
+  };
+
+  /// The per-object kernel tag + span (see FrozenOpfKind).
+  struct Kernel {
+    FrozenOpfKind kind = FrozenOpfKind::kLeaf;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  /// One per-label factor block: its rows live in the shared explicit
+  /// row arrays; `mass` is the factor's total probability (1 for a
+  /// normalized factor), the constant an off-path factor contributes to
+  /// the factored recurrence.
+  struct Factor {
+    LabelId label;
+    std::uint32_t row_begin;
+    std::uint32_t row_end;
+    double mass;
+  };
+
+  /// Compiles a snapshot. Requires a tree-shaped weak instance
+  /// (kNotATree otherwise — the generic interpreter remains the only
+  /// route for DAGs). Missing OPFs freeze as kMissing and only fail if a
+  /// query actually evaluates them, mirroring the generic path.
+  static Result<FrozenInstance> Freeze(const ProbabilisticInstance& instance);
+
+  /// The instance versions captured at freeze time.
+  std::uint64_t frozen_version() const { return version_; }
+  std::uint64_t frozen_structure_version() const { return structure_version_; }
+
+  /// True iff no mutation has gone through `instance`'s API since this
+  /// snapshot was frozen (℘ updates bump version(); structural surgery
+  /// additionally bumps structure_version()).
+  bool InSyncWith(const ProbabilisticInstance& instance) const {
+    return instance.version() == version_ &&
+           instance.structure_version() == structure_version_;
+  }
+
+  std::size_t num_ids() const { return kernels_.size(); }
+  ObjectId root() const { return root_; }
+
+  /// Objects in bottom-up topological order (every object after all of
+  /// its potential descendants) — the layout order of the row arrays.
+  const std::vector<ObjectId>& topo_order() const { return topo_order_; }
+
+  const Kernel& kernel(ObjectId o) const { return kernels_[o]; }
+
+  /// CSR structure: the label ranges of o, ascending by label.
+  std::span<const LabelRange> labels_of(ObjectId o) const {
+    return {label_ranges_.data() + obj_labels_[o].begin,
+            label_ranges_.data() + obj_labels_[o].end};
+  }
+  /// lch(o, l), ascending; empty span if absent.
+  std::span<const ObjectId> children(ObjectId o, LabelId l) const {
+    for (const LabelRange& r : labels_of(o)) {
+      if (r.label == l) {
+        return {child_ids_.data() + r.begin, child_ids_.data() + r.end};
+      }
+    }
+    return {};
+  }
+
+  // Explicit rows (also the backing store of per-label factor blocks).
+  double row_prob(std::uint32_t r) const { return row_prob_[r]; }
+  std::span<const ObjectId> row_children(std::uint32_t r) const {
+    return {row_children_.data() + row_child_begin_[r],
+            row_children_.data() + row_child_begin_[r + 1]};
+  }
+  std::size_t num_rows() const { return row_prob_.size(); }
+
+  // Independent entries.
+  std::span<const ObjectId> ind_children(const Kernel& k) const {
+    return {ind_child_.data() + k.begin, ind_child_.data() + k.end};
+  }
+  std::span<const double> ind_probs(const Kernel& k) const {
+    return {ind_prob_.data() + k.begin, ind_prob_.data() + k.end};
+  }
+
+  // Per-label factor blocks.
+  std::span<const Factor> factors(const Kernel& k) const {
+    return {factors_.data() + k.begin, factors_.data() + k.end};
+  }
+
+ private:
+  struct Span {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  FrozenInstance() = default;
+
+  std::vector<Span> obj_labels_;  // per object, into label_ranges_
+  std::vector<LabelRange> label_ranges_;
+  std::vector<ObjectId> child_ids_;
+
+  std::vector<Kernel> kernels_;  // indexed by ObjectId
+
+  std::vector<double> row_prob_;
+  std::vector<std::uint32_t> row_child_begin_;  // rows + 1
+  std::vector<ObjectId> row_children_;
+
+  std::vector<ObjectId> ind_child_;
+  std::vector<double> ind_prob_;
+
+  std::vector<Factor> factors_;
+
+  std::vector<ObjectId> topo_order_;
+  ObjectId root_ = kInvalidId;
+  std::uint64_t version_ = 0;
+  std::uint64_t structure_version_ = 0;
+};
+
+/// The frozen-form ε-propagation pass: semantics of
+/// EpsilonPropagator::RootEpsilon evaluated with the compiled kernels
+/// and a reusable scratch arena. `frozen` must be in sync with
+/// `instance` (the caller — normally EpsilonPropagator — checks).
+/// `scratch` must be non-null; `cache`/`stats` are optional and behave
+/// exactly as in the generic pass (same fingerprints, same version
+/// gating, interchangeable entries for explicit/independent kernels).
+Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
+                                 const ProbabilisticInstance& instance,
+                                 const PathExpression& path,
+                                 std::span<const TargetEps> targets,
+                                 const ParallelOptions& parallel,
+                                 EpsilonMemoCache* cache, EpsilonStats* stats,
+                                 EpsilonScratch* scratch);
+
+}  // namespace pxml
+
+#endif  // PXML_QUERY_FROZEN_H_

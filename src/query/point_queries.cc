@@ -3,6 +3,7 @@
 #include "algebra/selection_global.h"
 #include "core/semantics.h"
 #include "query/epsilon.h"
+#include "query/frozen.h"
 #include "util/strings.h"
 
 namespace pxml {
@@ -14,7 +15,8 @@ Result<double> PointQuery(const ProbabilisticInstance& instance,
   PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
                         PrunedWeakPathLayers(instance.weak(), path));
   if (!layers.back().Contains(object)) return 0.0;
-  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats);
+  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
+                         hooks.frozen, hooks.scratch);
   const TargetEps target{object, 1.0};
   return prop.RootEpsilon(path, std::span<const TargetEps>(&target, 1));
 }
@@ -29,7 +31,8 @@ Result<double> ExistsQuery(const ProbabilisticInstance& instance,
   targets.reserve(layers.back().size());
   for (ObjectId o : layers.back()) targets.push_back(TargetEps{o, 1.0});
   if (targets.empty()) return 0.0;
-  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats);
+  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
+                         hooks.frozen, hooks.scratch);
   return prop.RootEpsilon(path, targets);
 }
 
@@ -78,17 +81,19 @@ Result<double> ConditionProbability(const ProbabilisticInstance& instance,
                      "' has no OPF"));
         }
         const IdSet& lch = weak.Lch(o, condition.count_label);
-        for (const OpfEntry& row : opf->Entries()) {
-          std::uint32_t k = static_cast<std::uint32_t>(
-              row.child_set.Intersect(lch).size());
+        opf->ForEachEntry([&](const OpfEntry& row) {
+          std::uint32_t k = 0;
+          row.child_set.ForEachIntersecting(lch,
+                                            [&](ObjectId) { ++k; });
           if (condition.count_range.Contains(k)) e += row.prob;
-        }
+        });
       }
     }
     targets.push_back(TargetEps{o, e});
   }
   if (targets.empty()) return 0.0;
-  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats);
+  EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
+                         hooks.frozen, hooks.scratch);
   return prop.RootEpsilon(condition.path, targets);
 }
 

@@ -30,9 +30,15 @@ namespace pxml {
 /// uncounted, exactly the historical behavior.
 
 /// Optional memoization/observability plumbing for one query evaluation.
+/// `frozen` + `scratch` (both or neither) route the ε pass through the
+/// compiled kernels of an in-sync FrozenInstance snapshot (see
+/// query/frozen.h); an out-of-sync snapshot falls back to the generic
+/// interpreter.
 struct EpsilonHooks {
   EpsilonMemoCache* cache = nullptr;
   EpsilonStats* stats = nullptr;
+  const FrozenInstance* frozen = nullptr;
+  EpsilonScratch* scratch = nullptr;
 };
 
 /// P(o ∈ p): the probability that object o satisfies path expression p in

@@ -79,35 +79,84 @@ Result<ProbabilisticInstance> GenerateBalancedTree(
       }
       continue;
     }
-    // Children with labels per the labeling scheme.
+    // Children with labels per the labeling scheme. The per-label-product
+    // style overrides the scheme with a round-robin assignment so every
+    // label family is a genuine factor universe.
     const std::vector<LabelId>& alphabet = level_labels[cur.depth];
+    const bool per_label = config.opf_style == OpfStyle::kPerLabelProduct;
     LabelId shared = alphabet[rng.NextBounded(alphabet.size())];
     std::vector<ObjectId> children;
+    std::vector<LabelId> child_labels;
     children.reserve(config.branching);
+    child_labels.reserve(config.branching);
     for (std::uint32_t i = 0; i < config.branching; ++i) {
       ObjectId child = weak.AddObject(StrCat("o", ++counter));
-      LabelId label = config.labeling == LabelingScheme::kSameLabels
-                          ? shared
-                          : alphabet[rng.NextBounded(alphabet.size())];
+      LabelId label;
+      if (per_label) {
+        label = alphabet[i % alphabet.size()];
+      } else {
+        label = config.labeling == LabelingScheme::kSameLabels
+                    ? shared
+                    : alphabet[rng.NextBounded(alphabet.size())];
+      }
       PXML_RETURN_IF_ERROR(weak.AddPotentialChild(cur.object, label, child));
       children.push_back(child);
+      child_labels.push_back(label);
       queue.push_back(Pending{child, cur.depth + 1});
     }
-    // Random explicit OPF over all 2^b subsets (no cardinality
-    // constraints, per §7.1).
-    std::vector<double> probs = rng.NextSimplex(subsets);
-    std::vector<OpfEntry> rows;
-    rows.reserve(subsets);
-    for (std::size_t mask = 0; mask < subsets; ++mask) {
-      std::vector<std::uint32_t> members;
-      for (std::uint32_t b = 0; b < config.branching; ++b) {
-        if (mask & (std::size_t{1} << b)) members.push_back(children[b]);
+    switch (config.opf_style) {
+      case OpfStyle::kExplicitTable: {
+        // Random explicit OPF over all 2^b subsets (no cardinality
+        // constraints, per §7.1).
+        std::vector<double> probs = rng.NextSimplex(subsets);
+        std::vector<OpfEntry> rows;
+        rows.reserve(subsets);
+        for (std::size_t mask = 0; mask < subsets; ++mask) {
+          std::vector<std::uint32_t> members;
+          for (std::uint32_t b = 0; b < config.branching; ++b) {
+            if (mask & (std::size_t{1} << b)) members.push_back(children[b]);
+          }
+          rows.push_back(OpfEntry{IdSet(std::move(members)), probs[mask]});
+        }
+        PXML_RETURN_IF_ERROR(out.SetOpf(
+            cur.object, std::make_unique<ExplicitOpf>(
+                            ExplicitOpf::FromEntries(std::move(rows)))));
+        break;
       }
-      rows.push_back(OpfEntry{IdSet(std::move(members)), probs[mask]});
+      case OpfStyle::kIndependent: {
+        auto opf = std::make_unique<IndependentOpf>();
+        for (ObjectId child : children) {
+          PXML_RETURN_IF_ERROR(opf->AddChild(child, rng.NextDouble()));
+        }
+        PXML_RETURN_IF_ERROR(out.SetOpf(cur.object, std::move(opf)));
+        break;
+      }
+      case OpfStyle::kPerLabelProduct: {
+        auto opf = std::make_unique<PerLabelProductOpf>();
+        for (LabelId label : alphabet) {
+          std::vector<ObjectId> mine;
+          for (std::uint32_t i = 0; i < config.branching; ++i) {
+            if (child_labels[i] == label) mine.push_back(children[i]);
+          }
+          if (mine.empty()) continue;
+          const std::size_t fsubsets = std::size_t{1} << mine.size();
+          std::vector<double> probs = rng.NextSimplex(fsubsets);
+          std::vector<OpfEntry> rows;
+          rows.reserve(fsubsets);
+          for (std::size_t mask = 0; mask < fsubsets; ++mask) {
+            std::vector<std::uint32_t> members;
+            for (std::size_t b = 0; b < mine.size(); ++b) {
+              if (mask & (std::size_t{1} << b)) members.push_back(mine[b]);
+            }
+            rows.push_back(OpfEntry{IdSet(std::move(members)), probs[mask]});
+          }
+          PXML_RETURN_IF_ERROR(opf->AddLabelFactor(
+              label, ExplicitOpf::FromEntries(std::move(rows))));
+        }
+        PXML_RETURN_IF_ERROR(out.SetOpf(cur.object, std::move(opf)));
+        break;
+      }
     }
-    PXML_RETURN_IF_ERROR(out.SetOpf(
-        cur.object, std::make_unique<ExplicitOpf>(
-                        ExplicitOpf::FromEntries(std::move(rows)))));
   }
   return out;
 }

@@ -14,6 +14,20 @@ namespace pxml {
 ///  * kFullyRandom ("FR"): each child independently draws its own label.
 enum class LabelingScheme { kSameLabels, kFullyRandom };
 
+/// Which OPF representation generated non-leaves carry (§3.2's three
+/// compactions; see also bench_opf_representations):
+///  * kExplicitTable: a random explicit table over all 2^b subsets — the
+///    paper's §7.1 workload and the historical default (the RNG draw
+///    sequence is unchanged, so existing seeds reproduce bit-identical
+///    instances);
+///  * kIndependent: each child occurs independently with a random
+///    probability (ProTDB's per-child model);
+///  * kPerLabelProduct: children are assigned labels round-robin over the
+///    level alphabet (overriding `labeling` — factors must cover disjoint
+///    label families) and each label gets a random explicit factor over
+///    its own children.
+enum class OpfStyle { kExplicitTable, kIndependent, kPerLabelProduct };
+
 /// Configuration for the paper's synthetic workload: balanced trees where
 /// every non-leaf has exactly `branching` children, no cardinality
 /// constraints, and a random OPF over all 2^branching child subsets.
@@ -23,6 +37,8 @@ struct GeneratorConfig {
   /// Children per non-leaf. Paper: 2–8.
   std::uint32_t branching = 2;
   LabelingScheme labeling = LabelingScheme::kSameLabels;
+  /// OPF representation of generated non-leaves.
+  OpfStyle opf_style = OpfStyle::kExplicitTable;
   /// Size of the label alphabet available at each level.
   std::uint32_t labels_per_level = 2;
   /// RNG seed; equal seeds give identical instances.
