@@ -6,7 +6,10 @@
 // verifies that the parallel answers are bit-identical to the serial
 // ones before reporting.
 //
-// Usage: bench_batch_queries [--threads=N] [--seed=S]
+// Usage: bench_batch_queries [--threads=N] [--seed=S] [--trace=PATH]
+//        [--metrics=PATH]
+// --trace records the span tree of every batch (serial and parallel) as
+// Chrome trace-event JSON; --metrics snapshots the registry at exit.
 #include <cstdio>
 #include <cstring>
 
@@ -75,6 +78,7 @@ int Main(int argc, char** argv) {
   defaults.threads = std::thread::hardware_concurrency();
   defaults.seed = 20260806;
   const BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
+  ObsOutputs obs(flags);
   const std::size_t threads = flags.threads;
   const std::size_t kQueries = 400;
 
@@ -102,7 +106,7 @@ int Main(int argc, char** argv) {
     options.threads = t;
     BatchQueryEngine engine(*inst, options);
     BatchStats stats;
-    auto answers = engine.Run(queries, &stats);
+    auto answers = engine.Run(queries, &stats, obs.session());
     BenchCheck(answers.status(), "run");
     if (t == 1) {
       serial_wall = stats.wall_seconds;
@@ -118,6 +122,7 @@ int Main(int argc, char** argv) {
     std::fflush(stdout);
     if (t == 1 && t == threads) break;  // nothing more to compare
   }
+  obs.Finish();
   return 0;
 }
 

@@ -10,18 +10,23 @@
 // instance), --max-objects=N caps the sweep, --json=PATH additionally
 // writes machine-readable rows including the representation-sensitive
 // work counters (opf_row_ops, entries_materialized, bytes_allocated).
+// --trace=PATH records every projection's phase spans as Chrome
+// trace-event JSON; --metrics=PATH snapshots the metrics registry at
+// exit (see DESIGN.md §10).
 #include <cstdio>
 
 #include "fig7_common.h"
 
 int main(int argc, char** argv) {
   using namespace pxml::bench;
-  const BenchFlags flags =
-      ParseBenchFlags(&argc, argv, BenchFlags{/*threads=*/1,
-                                              /*seed=*/20260706});
+  BenchFlags defaults;
+  defaults.threads = 1;
+  defaults.seed = 20260706;
+  const BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
   const std::size_t max_objects =
       flags.max_objects != 0 ? flags.max_objects : 310000;
   JsonLog json("fig7a_projection_total", flags);
+  ObsOutputs obs(flags);
   std::printf(
       "# Figure 7(a): total ancestor-projection query time (opf=%s, "
       "frozen=%s)\n"
@@ -33,8 +38,8 @@ int main(int argc, char** argv) {
       "lab", "b", "d", "objects", "opf_rows", "q", "total_ms", "copy_ms",
       "locate", "struct", "update", "write", "kept");
   for (const SweepPoint& point : Fig7Sweep(max_objects)) {
-    ProjectionRow row =
-        RunProjectionPoint(point, flags.seed, flags.opf_style, flags.frozen);
+    ProjectionRow row = RunProjectionPoint(point, flags.seed, flags.opf_style,
+                                           flags.frozen, obs.session());
     std::printf(
         "%-3s %2u %2u %9zu %10zu %4d %10.3f %9.3f %9.3f %9.3f %9.3f %9.3f "
         "%7zu\n",
@@ -65,5 +70,6 @@ int main(int argc, char** argv) {
     json.Int("frozen_passes", row.frozen_passes);
   }
   json.Write();
+  obs.Finish();
   return 0;
 }

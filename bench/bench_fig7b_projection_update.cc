@@ -10,7 +10,7 @@
 // the headline: epsilon_recomputed cold vs. after the update.
 //
 // Usage: bench_fig7b_projection_update [--seed=S] [--threads=N]
-//        [--cache=on|off]
+//        [--cache=on|off] [--trace=PATH] [--metrics=PATH]
 #include <cstdio>
 #include <memory>
 
@@ -42,7 +42,7 @@ std::unique_ptr<Opf> FreshOpf(const ProbabilisticInstance& inst, ObjectId o,
   return opf;
 }
 
-void RunCacheSweep(const BenchFlags& flags) {
+void RunCacheSweep(const BenchFlags& flags, obs::TraceSession* trace) {
   std::printf(
       "\n# incremental re-query after one OPF update (cache=%s, "
       "threads=%zu)\n"
@@ -69,12 +69,12 @@ void RunCacheSweep(const BenchFlags& flags) {
     const std::vector<BatchQuery> queries = {BatchQuery::Exists(*path)};
 
     BatchStats cold;
-    BenchCheck(engine.Run(queries, &cold).status(), "cold run");
+    BenchCheck(engine.Run(queries, &cold, trace).status(), "cold run");
     ObjectId site = DeepestNonLeaf(engine.instance());
     BenchCheck(engine.UpdateOpf(site, FreshOpf(engine.instance(), site, rng)),
                "update");
     BatchStats warm;
-    BenchCheck(engine.Run(queries, &warm).status(), "re-query");
+    BenchCheck(engine.Run(queries, &warm, trace).status(), "re-query");
 
     double ratio = warm.epsilon_recomputed > 0
                        ? static_cast<double>(cold.epsilon_recomputed) /
@@ -91,8 +91,11 @@ void RunCacheSweep(const BenchFlags& flags) {
 }
 
 int Main(int argc, char** argv) {
-  BenchFlags flags =
-      ParseBenchFlags(&argc, argv, BenchFlags{/*threads=*/1, /*seed=*/997});
+  BenchFlags defaults;
+  defaults.threads = 1;
+  defaults.seed = 997;
+  BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
+  ObsOutputs obs(flags);
   std::printf(
       "# Figure 7(b): local-interpretation (℘) update time of ancestor "
       "projection\n"
@@ -100,7 +103,9 @@ int Main(int argc, char** argv) {
   std::printf("%-3s %2s %2s %9s %10s %4s %12s %12s\n", "lab", "b", "d",
               "objects", "opf_rows", "q", "update_ms", "update_frac");
   for (const SweepPoint& point : Fig7Sweep(/*max_objects=*/310000)) {
-    ProjectionRow row = RunProjectionPoint(point, flags.seed);
+    ProjectionRow row =
+        RunProjectionPoint(point, flags.seed, OpfStyle::kExplicitTable,
+                           /*frozen=*/false, obs.session());
     double frac = row.total_ms > 0 ? row.update_ms / row.total_ms : 0.0;
     std::printf("%-3s %2u %2u %9zu %10zu %4d %12.3f %12.3f\n",
                 SchemeName(point.scheme), point.branching, point.depth,
@@ -108,7 +113,8 @@ int Main(int argc, char** argv) {
                 frac);
     std::fflush(stdout);
   }
-  RunCacheSweep(flags);
+  RunCacheSweep(flags, obs.session());
+  obs.Finish();
   return 0;
 }
 

@@ -4,18 +4,22 @@
 // (< 1 ms), so writing the (structurally unchanged) result dominates.
 //
 // --max-objects=N caps the sweep; --json=PATH writes machine-readable
-// rows.
+// rows; --trace=PATH / --metrics=PATH export the observability layer's
+// span tree / registry snapshot (DESIGN.md §10).
 #include <cstdio>
 
 #include "fig7_common.h"
 
 int main(int argc, char** argv) {
   using namespace pxml::bench;
-  const BenchFlags flags =
-      ParseBenchFlags(&argc, argv, BenchFlags{/*threads=*/1, /*seed=*/4242});
+  BenchFlags defaults;
+  defaults.threads = 1;
+  defaults.seed = 4242;
+  const BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
   const std::size_t max_objects =
       flags.max_objects != 0 ? flags.max_objects : 100000;
   JsonLog json("fig7c_selection_total", flags);
+  ObsOutputs obs(flags);
   std::printf(
       "# Figure 7(c): total selection query time\n"
       "# copy+locate+update+write; update touches only `depth` objects\n");
@@ -23,7 +27,7 @@ int main(int argc, char** argv) {
               "d", "objects", "opf_rows", "q", "total_ms", "locate",
               "update", "write");
   for (const SweepPoint& point : Fig7Sweep(max_objects)) {
-    SelectionRow row = RunSelectionPoint(point, flags.seed);
+    SelectionRow row = RunSelectionPoint(point, flags.seed, obs.session());
     std::printf("%-3s %2u %2u %9zu %10zu %4d %10.3f %9.3f %9.3f %9.3f\n",
                 SchemeName(point.scheme), point.branching, point.depth,
                 row.objects, row.opf_entries, row.queries, row.total_ms,
@@ -42,5 +46,6 @@ int main(int argc, char** argv) {
     json.Num("write_ms", row.write_ms);
   }
   json.Write();
+  obs.Finish();
   return 0;
 }

@@ -16,7 +16,21 @@
 // factored per-label recurrence associates differently — see
 // query/frozen.h).
 //
+// --check additionally gates the observability layer (DESIGN.md §10):
+//
+//   * registry reconcile: the `pxml.projection.*` / `pxml.epsilon.*`
+//     registry counter deltas across the measured passes must equal the
+//     legacy ProjectionStats/EpsilonStats totals exactly (both views are
+//     flushed from one pass-local tally, so any drift is a bug);
+//   * tracing neutrality: re-running a query with a TraceSession attached
+//     must leave every hot-path work counter (recomputed, opf_row_ops,
+//     entries_materialized) unchanged and return the bit-identical
+//     answer — with tracing off the only cost is a branch on a null
+//     pointer, and these counters are how that contract is enforced in a
+//     container where wall clock is unobservable.
+//
 // Usage: bench_frozen_kernels [--seed=S] [--json=PATH] [--check]
+//        [--trace=PATH] [--metrics=PATH]
 // --check exits non-zero when any of the above assertions fail (the CI
 // gate).
 #include <cmath>
@@ -46,10 +60,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) check_mode = true;
   }
-  const BenchFlags flags =
-      ParseBenchFlags(&argc, argv, BenchFlags{/*threads=*/1,
-                                              /*seed=*/20260806});
+  BenchFlags defaults;
+  defaults.threads = 1;
+  defaults.seed = 20260806;
+  const BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
   JsonLog json("frozen_kernels", flags);
+  ObsOutputs obs(flags);
 
   GeneratorConfig config;
   config.depth = 4;
@@ -75,15 +91,20 @@ int main(int argc, char** argv) {
   const FrozenInstance& frozen = *snapshot;
 
   // ---- Marginalization (ancestor projection ℘ update).
+  const obs::MetricsSnapshot proj_reg0 = obs::Registry::Global().Snapshot();
   ProjectionStats generic_proj;
-  auto generic_result = AncestorProject(inst, *path, &generic_proj);
+  auto generic_result = AncestorProject(inst, *path, &generic_proj, {},
+                                        nullptr, nullptr, obs.session());
   BenchCheck(generic_result.status(), "generic project");
   ProjectionStats cold_proj;
-  auto frozen_cold = AncestorProject(inst, *path, &cold_proj, {}, &frozen);
+  auto frozen_cold = AncestorProject(inst, *path, &cold_proj, {}, &frozen,
+                                     nullptr, obs.session());
   BenchCheck(frozen_cold.status(), "frozen project (cold)");
   ProjectionStats warm_proj;
-  auto frozen_result = AncestorProject(inst, *path, &warm_proj, {}, &frozen);
+  auto frozen_result = AncestorProject(inst, *path, &warm_proj, {}, &frozen,
+                                       nullptr, obs.session());
   BenchCheck(frozen_result.status(), "frozen project (warm)");
+  const obs::MetricsSnapshot proj_reg1 = obs::Registry::Global().Snapshot();
 
   // ℘'(r)(∅) is the probability that no object matches the path — a
   // scalar summary of the whole marginalization.
@@ -107,7 +128,42 @@ int main(int argc, char** argv) {
         "projection results agree to 1e-12",
         StrCat("generic=", generic_empty, " frozen=", frozen_empty));
 
+  // Registry reconcile: the pxml.projection.* deltas across the three
+  // passes above must equal the legacy stats totals exactly.
+  auto delta = [](const obs::MetricsSnapshot& after,
+                  const obs::MetricsSnapshot& before, const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
+  const std::uint64_t proj_row_ops_total = generic_proj.opf_row_ops +
+                                           cold_proj.opf_row_ops +
+                                           warm_proj.opf_row_ops;
+  Check(delta(proj_reg1, proj_reg0, "pxml.projection.opf_row_ops") ==
+            proj_row_ops_total,
+        "projection registry row ops reconcile with legacy stats",
+        StrCat("registry=",
+               delta(proj_reg1, proj_reg0, "pxml.projection.opf_row_ops"),
+               " legacy=", proj_row_ops_total));
+  Check(delta(proj_reg1, proj_reg0, "pxml.projection.passes") == 3,
+        "projection registry pass count reconciles",
+        StrCat("registry=",
+               delta(proj_reg1, proj_reg0, "pxml.projection.passes")));
+  Check(delta(proj_reg1, proj_reg0, "pxml.projection.frozen_passes") ==
+            cold_proj.frozen_passes + warm_proj.frozen_passes,
+        "projection registry frozen passes reconcile",
+        StrCat("registry=",
+               delta(proj_reg1, proj_reg0, "pxml.projection.frozen_passes"),
+               " legacy=", cold_proj.frozen_passes + warm_proj.frozen_passes));
+  Check(delta(proj_reg1, proj_reg0, "pxml.projection.entries_materialized") ==
+            generic_proj.entries_materialized +
+                cold_proj.entries_materialized +
+                warm_proj.entries_materialized,
+        "projection registry materializations reconcile",
+        StrCat("registry=",
+               delta(proj_reg1, proj_reg0,
+                     "pxml.projection.entries_materialized")));
+
   // ---- ε propagation (exists point query).
+  const obs::MetricsSnapshot eps_reg0 = obs::Registry::Global().Snapshot();
   EpsilonStats generic_eps;
   EpsilonHooks generic_hooks;
   generic_hooks.stats = &generic_eps;
@@ -126,6 +182,7 @@ int main(int argc, char** argv) {
   frozen_hooks.stats = &warm_eps;
   auto frozen_p = ExistsQuery(inst, *path, {}, frozen_hooks);
   BenchCheck(frozen_p.status(), "frozen exists (warm)");
+  const obs::MetricsSnapshot eps_reg1 = obs::Registry::Global().Snapshot();
 
   Check(warm_eps.frozen_passes.load() == 1, "epsilon ran on frozen kernels",
         StrCat("frozen_passes=", warm_eps.frozen_passes.load()));
@@ -142,6 +199,72 @@ int main(int argc, char** argv) {
   Check(std::abs(*generic_p - *frozen_p) <= 1e-12,
         "epsilon results agree to 1e-12",
         StrCat("generic=", *generic_p, " frozen=", *frozen_p));
+
+  // Registry reconcile for the ε pass family.
+  const std::uint64_t eps_recomputed_total = generic_eps.recomputed.load() +
+                                             cold_eps.recomputed.load() +
+                                             warm_eps.recomputed.load();
+  Check(delta(eps_reg1, eps_reg0, "pxml.epsilon.recomputed") ==
+            eps_recomputed_total,
+        "epsilon registry recomputed reconciles with legacy stats",
+        StrCat("registry=",
+               delta(eps_reg1, eps_reg0, "pxml.epsilon.recomputed"),
+               " legacy=", eps_recomputed_total));
+  const std::uint64_t eps_row_ops_total = generic_eps.opf_row_ops.load() +
+                                          cold_eps.opf_row_ops.load() +
+                                          warm_eps.opf_row_ops.load();
+  Check(delta(eps_reg1, eps_reg0, "pxml.epsilon.opf_row_ops") ==
+            eps_row_ops_total,
+        "epsilon registry row ops reconcile with legacy stats",
+        StrCat("registry=",
+               delta(eps_reg1, eps_reg0, "pxml.epsilon.opf_row_ops"),
+               " legacy=", eps_row_ops_total));
+  Check(delta(eps_reg1, eps_reg0, "pxml.epsilon.passes_generic") ==
+            generic_eps.generic_passes.load(),
+        "epsilon registry generic pass count reconciles",
+        StrCat("registry=",
+               delta(eps_reg1, eps_reg0, "pxml.epsilon.passes_generic"),
+               " legacy=", generic_eps.generic_passes.load()));
+  Check(delta(eps_reg1, eps_reg0, "pxml.epsilon.passes_frozen") ==
+            cold_eps.frozen_passes.load() + warm_eps.frozen_passes.load(),
+        "epsilon registry frozen pass count reconciles",
+        StrCat("registry=",
+               delta(eps_reg1, eps_reg0, "pxml.epsilon.passes_frozen"),
+               " legacy=",
+               cold_eps.frozen_passes.load() + warm_eps.frozen_passes.load()));
+
+  // Tracing-neutrality / disabled-overhead gate: re-run the warm frozen
+  // query with a live TraceSession. The hot-path work counters and the
+  // answer must not move at all — observability observes, it never
+  // steers. (The untraced runs above already paid only the null-pointer
+  // branch; equal counters are the observable form of that contract.)
+  obs::TraceSession gate_session;
+  EpsilonStats traced_eps;
+  frozen_hooks.stats = &traced_eps;
+  frozen_hooks.trace = &gate_session;
+  auto traced_p = ExistsQuery(inst, *path, {}, frozen_hooks);
+  BenchCheck(traced_p.status(), "frozen exists (traced)");
+  Check(std::memcmp(&*traced_p, &*frozen_p, sizeof(double)) == 0,
+        "tracing leaves the answer bit-identical",
+        StrCat("untraced=", *frozen_p, " traced=", *traced_p));
+  Check(traced_eps.recomputed.load() == warm_eps.recomputed.load() &&
+            traced_eps.opf_row_ops.load() == warm_eps.opf_row_ops.load() &&
+            traced_eps.entries_materialized.load() ==
+                warm_eps.entries_materialized.load() &&
+            traced_eps.bytes_allocated.load() ==
+                warm_eps.bytes_allocated.load(),
+        "tracing leaves hot-path work counters unchanged",
+        StrCat("recomputed ", warm_eps.recomputed.load(), "->",
+               traced_eps.recomputed.load(), ", row_ops ",
+               warm_eps.opf_row_ops.load(), "->",
+               traced_eps.opf_row_ops.load(), ", bytes ",
+               warm_eps.bytes_allocated.load(), "->",
+               traced_eps.bytes_allocated.load()));
+  Check(!gate_session.spans().empty() &&
+            std::strcmp(gate_session.spans()[0].name, "epsilon") == 0 &&
+            gate_session.spans()[0].closed,
+        "traced run recorded its epsilon span",
+        StrCat("spans=", gate_session.spans().size()));
 
   json.NextRow();
   json.Str("pass", "projection");
@@ -167,7 +290,17 @@ int main(int argc, char** argv) {
   json.Int("frozen_warm_bytes_allocated", warm_eps.bytes_allocated.load());
   json.Num("generic_exists_prob", *generic_p);
   json.Num("frozen_exists_prob", *frozen_p);
+  json.NextRow();
+  json.Str("pass", "observability");
+  json.Int("registry_epsilon_recomputed_delta",
+           delta(eps_reg1, eps_reg0, "pxml.epsilon.recomputed"));
+  json.Int("legacy_epsilon_recomputed_total", eps_recomputed_total);
+  json.Int("registry_projection_opf_row_ops_delta",
+           delta(proj_reg1, proj_reg0, "pxml.projection.opf_row_ops"));
+  json.Int("legacy_projection_opf_row_ops_total", proj_row_ops_total);
+  json.Int("traced_spans", gate_session.spans().size());
   json.Write();
+  obs.Finish();
 
   if (g_failures != 0) {
     std::printf("%d check(s) FAILED\n", g_failures);

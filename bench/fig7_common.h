@@ -26,6 +26,8 @@
 
 #include "algebra/projection.h"
 #include "algebra/selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/frozen.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -86,13 +88,20 @@ struct BenchFlags {
   /// --opf=explicit|independent|per-label (generated OPF representation)
   OpfStyle opf_style = OpfStyle::kExplicitTable;
   bool frozen = false;          ///< --frozen=on|off (FrozenInstance kernels)
+  /// --trace=PATH (Chrome trace-event JSON of the run's span tree; empty
+  /// = tracing fully disabled, the null-session zero-cost path)
+  std::string trace;
+  /// --metrics=PATH (registry snapshot at exit; ".json" suffix picks the
+  /// JSON export, anything else the text export)
+  std::string metrics;
 };
 
 /// Parses and REMOVES the shared flags (`--threads=N`, `--seed=S`,
 /// `--cache=on|off`, `--json=PATH`, `--max-objects=N`, `--opf=REP`,
-/// `--frozen=on|off`) from argv, so google-benchmark binaries can hand
-/// the remaining arguments to `benchmark::Initialize` without tripping
-/// its unknown-flag check. Malformed values warn and keep the default.
+/// `--frozen=on|off`, `--trace=PATH`, `--metrics=PATH`) from argv, so
+/// google-benchmark binaries can hand the remaining arguments to
+/// `benchmark::Initialize` without tripping its unknown-flag check.
+/// Malformed values warn and keep the default.
 inline BenchFlags ParseBenchFlags(int* argc, char** argv,
                                   BenchFlags defaults) {
   BenchFlags flags = defaults;
@@ -133,6 +142,14 @@ inline BenchFlags ParseBenchFlags(int* argc, char** argv,
         onoff("--cache=", &flags.cache) || onoff("--frozen=", &flags.frozen);
     if (!consumed && arg.rfind("--json=", 0) == 0) {
       flags.json = arg.substr(std::strlen("--json="));
+      consumed = true;
+    }
+    if (!consumed && arg.rfind("--trace=", 0) == 0) {
+      flags.trace = arg.substr(std::strlen("--trace="));
+      consumed = true;
+    }
+    if (!consumed && arg.rfind("--metrics=", 0) == 0) {
+      flags.metrics = arg.substr(std::strlen("--metrics="));
       consumed = true;
     }
     if (!consumed && arg.rfind("--opf=", 0) == 0) {
@@ -245,6 +262,40 @@ inline void BenchCheck(const Status& status, const char* what) {
   }
 }
 
+/// The bench-side observability wiring: holds the run's TraceSession iff
+/// `--trace=PATH` was given (session() is null otherwise — the zero-cost
+/// disabled path all hot code branches on), and writes the trace /
+/// `--metrics` registry snapshot in Finish(). Exits non-zero on I/O
+/// failure so CI catches a broken export.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const BenchFlags& flags)
+      : trace_path_(flags.trace), metrics_path_(flags.metrics) {
+    if (!trace_path_.empty()) session_.emplace();
+  }
+
+  obs::TraceSession* session() {
+    return session_.has_value() ? &*session_ : nullptr;
+  }
+
+  void Finish() {
+    if (session_.has_value()) {
+      BenchCheck(session_->WriteChromeTrace(trace_path_), "write trace");
+      std::printf("# wrote Chrome trace (%zu spans) to %s\n",
+                  session_->spans().size(), trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      if (!obs::WriteGlobalMetrics(metrics_path_)) std::exit(1);
+      std::printf("# wrote metrics snapshot to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::optional<obs::TraceSession> session_;
+};
+
 /// Number of (instances, queries-per-instance) to average, scaled down
 /// for large configurations to keep the sweep's wall time reasonable
 /// (the paper averaged 10 x 10 on 2002 hardware).
@@ -281,7 +332,8 @@ struct ProjectionRow {
 /// the compiled kernels.
 inline ProjectionRow RunProjectionPoint(
     const SweepPoint& point, std::uint64_t seed,
-    OpfStyle opf_style = OpfStyle::kExplicitTable, bool frozen = false) {
+    OpfStyle opf_style = OpfStyle::kExplicitTable, bool frozen = false,
+    obs::TraceSession* trace = nullptr) {
   ProjectionRow row;
   row.point = point;
   auto [num_instances, num_queries] = Repetitions(
@@ -313,7 +365,8 @@ inline ProjectionRow RunProjectionPoint(
       double copy_ms = MsSince(t0);
       ProjectionStats stats;
       auto result = AncestorProject(copy, *path, &stats, {},
-                                    snapshot ? &*snapshot : nullptr);
+                                    snapshot ? &*snapshot : nullptr,
+                                    /*scratch=*/nullptr, trace);
       BenchCheck(result.status(), "project");
       auto tw = std::chrono::steady_clock::now();
       BenchCheck(WritePxmlFile(*result, scratch), "write");
@@ -358,7 +411,8 @@ struct SelectionRow {
 
 /// Runs the selection experiment for one sweep point.
 inline SelectionRow RunSelectionPoint(const SweepPoint& point,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      obs::TraceSession* trace = nullptr) {
   SelectionRow row;
   row.point = point;
   auto [num_instances, num_queries] = Repetitions(
@@ -380,7 +434,7 @@ inline SelectionRow RunSelectionPoint(const SweepPoint& point,
       BenchCheck(cond.status(), "condition");
       auto t0 = std::chrono::steady_clock::now();
       SelectionStats stats;
-      auto result = Select(*inst, *cond, &stats);
+      auto result = Select(*inst, *cond, &stats, trace);
       BenchCheck(result.status(), "select");
       auto tw = std::chrono::steady_clock::now();
       BenchCheck(WritePxmlFile(*result, scratch), "write");

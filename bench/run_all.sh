@@ -8,11 +8,14 @@
 #
 # The sweep caps (--max-objects) keep a full run under a couple of
 # minutes on one CPU; raise them for paper-scale series. The assembled
-# BENCH_3.json embeds the fig7a series (generic explicit, and per-label
+# BENCH_4.json embeds the fig7a series (generic explicit, and per-label
 # with frozen kernels), the fig7c series, and the frozen-kernel counter
-# ablation. bench_opf_representations writes google-benchmark JSON into
-# OUT_DIR only (its output embeds machine context, so it is uploaded as
-# a CI artifact rather than checked in).
+# ablation (which now also gates the observability layer — registry
+# reconcile and tracing neutrality). bench_opf_representations writes
+# google-benchmark JSON into OUT_DIR only (its output embeds machine
+# context, so it is uploaded as a CI artifact rather than checked in).
+# The fig7a run additionally exports a Chrome trace and a metrics
+# snapshot into OUT_DIR as a smoke test of --trace/--metrics.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,8 +23,29 @@ BUILD=${1:-build}
 OUT=${2:-bench/out}
 mkdir -p "$OUT"
 
+# Every binary the script is about to run must exist and be executable;
+# a silently skipped bench would assemble a baseline with holes.
+BENCH_BINARIES=(
+  bench_fig7a_projection_total
+  bench_fig7c_selection_total
+  bench_frozen_kernels
+  bench_opf_representations
+)
+missing=0
+for bin in "${BENCH_BINARIES[@]}"; do
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    echo "error: bench binary missing or not executable: $BUILD/bench/$bin" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "error: build the bench targets first (cmake --build $BUILD)" >&2
+  exit 1
+fi
+
 "$BUILD/bench/bench_fig7a_projection_total" --max-objects=5000 \
-    --json="$OUT/fig7a.json"
+    --json="$OUT/fig7a.json" --trace="$OUT/fig7a_trace.json" \
+    --metrics="$OUT/fig7a_metrics.json"
 "$BUILD/bench/bench_fig7a_projection_total" --max-objects=5000 \
     --opf=per-label --frozen=on --json="$OUT/fig7a_perlabel_frozen.json"
 "$BUILD/bench/bench_fig7c_selection_total" --max-objects=5000 \
@@ -31,12 +55,12 @@ mkdir -p "$OUT"
     --benchmark_min_time=0.01 >/dev/null
 
 {
-  printf '{"pr":3,"benches":{'
+  printf '{"pr":4,"benches":{'
   printf '"fig7a":';                  cat "$OUT/fig7a.json" | tr -d '\n'
   printf ',"fig7a_perlabel_frozen":'; cat "$OUT/fig7a_perlabel_frozen.json" | tr -d '\n'
   printf ',"fig7c":';                 cat "$OUT/fig7c.json" | tr -d '\n'
   printf ',"frozen_kernels":';        cat "$OUT/frozen_kernels.json" | tr -d '\n'
   printf '}}\n'
-} > BENCH_3.json
+} > BENCH_4.json
 
-echo "wrote BENCH_3.json (+ per-bench JSON in $OUT)"
+echo "wrote BENCH_4.json (+ per-bench JSON in $OUT)"

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "prob/distribution.h"
 #include "query/frozen.h"
 #include "util/strings.h"
@@ -16,6 +18,44 @@ using Clock = std::chrono::steady_clock;
 
 double Seconds(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+/// Mirrors one completed projection's counters into the global
+/// `pxml.projection.*` registry metrics; every successful AncestorProject
+/// flushes through here exactly once, so registry deltas reconcile
+/// exactly with the legacy ProjectionStats totals.
+void FlushProjectionPass(const ProjectionStats& ps) {
+  using obs::Registry;
+  static obs::Counter& c_passes =
+      Registry::Global().GetCounter("pxml.projection.passes");
+  static obs::Counter& c_kept =
+      Registry::Global().GetCounter("pxml.projection.kept_objects");
+  static obs::Counter& c_processed =
+      Registry::Global().GetCounter("pxml.projection.processed_entries");
+  static obs::Counter& c_row_ops =
+      Registry::Global().GetCounter("pxml.projection.opf_row_ops");
+  static obs::Counter& c_materialized =
+      Registry::Global().GetCounter("pxml.projection.entries_materialized");
+  static obs::Counter& c_bytes =
+      Registry::Global().GetCounter("pxml.projection.bytes_allocated");
+  static obs::Counter& c_frozen =
+      Registry::Global().GetCounter("pxml.projection.frozen_passes");
+  static obs::Histogram& h_locate =
+      Registry::Global().GetHistogram("pxml.projection.locate_ns");
+  static obs::Histogram& h_update =
+      Registry::Global().GetHistogram("pxml.projection.update_ns");
+  static obs::Histogram& h_structure =
+      Registry::Global().GetHistogram("pxml.projection.structure_ns");
+  c_passes.Increment();
+  c_kept.Add(ps.kept_objects);
+  c_processed.Add(ps.processed_entries);
+  c_row_ops.Add(ps.opf_row_ops);
+  c_materialized.Add(ps.entries_materialized);
+  c_bytes.Add(ps.bytes_allocated);
+  c_frozen.Add(ps.frozen_passes);
+  h_locate.Record(static_cast<std::uint64_t>(ps.locate_seconds * 1e9));
+  h_update.Record(static_cast<std::uint64_t>(ps.update_seconds * 1e9));
+  h_structure.Record(static_cast<std::uint64_t>(ps.structure_seconds * 1e9));
 }
 
 /// Mass below which a non-root object is considered impossible after
@@ -80,7 +120,8 @@ MarginScratch& LocalMarginScratch() {
 Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
     ProjectionStats* stats, const ParallelOptions& parallel,
-    const FrozenInstance* frozen, EpsilonScratch* scratch) {
+    const FrozenInstance* frozen, EpsilonScratch* scratch,
+    obs::TraceSession* trace) {
   (void)scratch;  // see the header: per-object buffers are thread-local
   const WeakInstance& weak = instance.weak();
   const std::size_t num_ids = weak.dict().num_objects();
@@ -89,13 +130,24 @@ Result<ProbabilisticInstance> AncestorProject(
     return Status::InvalidArgument(
         "ancestor projection paths must start at the root");
   }
+  // Counters land in a pass-local struct and are flushed once at pass
+  // end — to the caller's stats and the pxml.projection.* registry — so
+  // the two always agree.
+  ProjectionStats ps;
+  auto finish = [&] {
+    FlushProjectionPass(ps);
+    if (stats != nullptr) *stats = ps;
+  };
 
   // ---- Locate: the pruned layers K_0..K_n of potential matches.
   Clock::time_point t0 = Clock::now();
-  PXML_ASSIGN_OR_RETURN(std::vector<IdSet> layers,
-                        PrunedWeakPathLayers(weak, path));
+  std::vector<IdSet> layers;
+  {
+    obs::TraceSpan span(trace, "locate");
+    PXML_ASSIGN_OR_RETURN(layers, PrunedWeakPathLayers(weak, path));
+  }
   Clock::time_point t1 = Clock::now();
-  if (stats != nullptr) stats->locate_seconds = Seconds(t0, t1);
+  ps.locate_seconds = Seconds(t0, t1);
 
   const std::size_t n = path.labels.size();
   ProbabilisticInstance out;
@@ -111,15 +163,21 @@ Result<ProbabilisticInstance> AncestorProject(
     if (weak.IsLeaf(weak.root())) {
       PXML_RETURN_IF_ERROR(CopyLeafData(instance, weak.root(), &out));
     }
-    if (stats != nullptr) stats->kept_objects = 1;
+    ps.kept_objects = 1;
+    finish();
     return out;
   }
   if (layers.back().empty()) {
-    if (stats != nullptr) stats->kept_objects = 1;
+    ps.kept_objects = 1;
+    finish();
     return out;
   }
 
   // ---- Bottom-up ℘ update (marginalize, ε, normalize).
+  // The span is optional-wrapped so it can be closed (with its args) at
+  // the phase boundary instead of at scope exit.
+  std::optional<obs::TraceSpan> update_span;
+  if (trace != nullptr) update_span.emplace(trace, "update");
   Clock::time_point t2 = Clock::now();
   std::vector<double> eps(num_ids, 0.0);
   std::vector<char> dropped(num_ids, 0);
@@ -374,16 +432,24 @@ Result<ProbabilisticInstance> AncestorProject(
     }
   }
   Clock::time_point t3 = Clock::now();
-  if (stats != nullptr) {
-    stats->update_seconds = Seconds(t2, t3);
-    stats->processed_entries = processed.load(std::memory_order_relaxed);
-    stats->opf_row_ops = row_ops.load(std::memory_order_relaxed);
-    stats->entries_materialized = materialized.load(std::memory_order_relaxed);
-    stats->bytes_allocated = hot_bytes.load(std::memory_order_relaxed);
-    stats->frozen_passes = use_frozen ? 1 : 0;
+  ps.update_seconds = Seconds(t2, t3);
+  ps.processed_entries = processed.load(std::memory_order_relaxed);
+  ps.opf_row_ops = row_ops.load(std::memory_order_relaxed);
+  ps.entries_materialized = materialized.load(std::memory_order_relaxed);
+  ps.bytes_allocated = hot_bytes.load(std::memory_order_relaxed);
+  ps.frozen_passes = use_frozen ? 1 : 0;
+  if (update_span.has_value()) {
+    update_span->Arg("dispatch", use_frozen ? "frozen" : "generic");
+    update_span->Arg("processed_entries",
+                     static_cast<std::uint64_t>(ps.processed_entries));
+    update_span->Arg("opf_row_ops", ps.opf_row_ops);
+    update_span->Arg("entries_materialized", ps.entries_materialized);
+    update_span->Arg("bytes_allocated", ps.bytes_allocated);
+    update_span.reset();
   }
 
   // ---- Build the projected structure.
+  obs::TraceSpan structure_span(trace, "structure");
   // Walk top-down keeping only objects whose parents survive.
   std::vector<char> kept(num_ids, 0);
   kept[weak.root()] = 1;
@@ -415,10 +481,11 @@ Result<ProbabilisticInstance> AncestorProject(
     }
   }
   Clock::time_point t4 = Clock::now();
-  if (stats != nullptr) {
-    stats->structure_seconds = Seconds(t3, t4);
-    stats->kept_objects = out.weak().num_objects();
-  }
+  ps.structure_seconds = Seconds(t3, t4);
+  ps.kept_objects = out.weak().num_objects();
+  structure_span.Arg("kept_objects",
+                     static_cast<std::uint64_t>(ps.kept_objects));
+  finish();
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -80,10 +81,17 @@ struct ProjectionStats {
 /// back to the generic interpreter. `scratch` is accepted for symmetry
 /// with the ε pass; the marginalization pass keeps its per-object buffers
 /// in per-worker thread-local storage.
+///
+/// A non-null `trace` records the projection's three phases as
+/// "locate"/"update"/"structure" spans with their counters attached
+/// (obs/trace.h); null is the zero-cost disabled path. Independent of
+/// tracing, a successful projection flushes its counters into the
+/// `pxml.projection.*` registry metrics.
 Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
     ProjectionStats* stats = nullptr, const ParallelOptions& parallel = {},
-    const FrozenInstance* frozen = nullptr, EpsilonScratch* scratch = nullptr);
+    const FrozenInstance* frozen = nullptr, EpsilonScratch* scratch = nullptr,
+    obs::TraceSession* trace = nullptr);
 
 /// Efficient descendant projection: ancestor projection, plus every
 /// target keeps its original subtree (whose local interpretation is

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
+#include "obs/metrics.h"
 #include "prob/distribution.h"
 #include "util/strings.h"
 
@@ -95,11 +97,14 @@ Result<double> ConditionOpfOnChild(const ProbabilisticInstance& in,
 
 Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
                                      const SelectionCondition& condition,
-                                     SelectionStats* stats) {
+                                     SelectionStats* stats,
+                                     obs::TraceSession* trace) {
   const WeakInstance& weak = instance.weak();
   PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
 
   // ---- Locate the target and its ancestor chain.
+  std::optional<obs::TraceSpan> locate_span;
+  if (trace != nullptr) locate_span.emplace(trace, "locate");
   Clock::time_point t0 = Clock::now();
   ObjectId target = kInvalidId;
   if (condition.kind == SelectionCondition::Kind::kObject) {
@@ -121,9 +126,11 @@ Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
   PXML_ASSIGN_OR_RETURN(std::vector<ObjectId> chain,
                         AncestorChain(weak, condition.path, target));
   Clock::time_point t1 = Clock::now();
+  locate_span.reset();
 
   // ---- Copy the instance, then condition ℘ along the chain.
   ProbabilisticInstance out = instance;
+  obs::TraceSpan update_span(trace, "update");
   Clock::time_point t2 = Clock::now();
   double condition_prob = 1.0;
   for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
@@ -193,7 +200,24 @@ Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
     }
   }
   Clock::time_point t3 = Clock::now();
+  update_span.Arg("updated_objects", static_cast<std::uint64_t>(updated));
+  update_span.Arg("condition_prob", condition_prob);
 
+  {
+    using obs::Registry;
+    static obs::Counter& c_passes =
+        Registry::Global().GetCounter("pxml.selection.passes");
+    static obs::Counter& c_updated =
+        Registry::Global().GetCounter("pxml.selection.updated_objects");
+    static obs::Histogram& h_locate =
+        Registry::Global().GetHistogram("pxml.selection.locate_ns");
+    static obs::Histogram& h_update =
+        Registry::Global().GetHistogram("pxml.selection.update_ns");
+    c_passes.Increment();
+    c_updated.Add(updated);
+    h_locate.Record(static_cast<std::uint64_t>(Seconds(t0, t1) * 1e9));
+    h_update.Record(static_cast<std::uint64_t>(Seconds(t2, t3) * 1e9));
+  }
   if (stats != nullptr) {
     stats->locate_seconds = Seconds(t0, t1);
     stats->update_seconds = Seconds(t2, t3);

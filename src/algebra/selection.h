@@ -3,6 +3,7 @@
 
 #include "algebra/selection_global.h"
 #include "core/probabilistic_instance.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace pxml {
@@ -35,9 +36,15 @@ struct SelectionStats {
 ///  * value conditions val(p) = v where exactly one object satisfies p.
 ///
 /// Fails with FailedPrecondition when the condition has probability 0.
+///
+/// A non-null `trace` records the selection's phases as
+/// "locate"/"update" spans (obs/trace.h); null is the zero-cost disabled
+/// path. A successful selection flushes its counters into the
+/// `pxml.selection.*` registry metrics either way.
 Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
                                      const SelectionCondition& condition,
-                                     SelectionStats* stats = nullptr);
+                                     SelectionStats* stats = nullptr,
+                                     obs::TraceSession* trace = nullptr);
 
 }  // namespace pxml
 

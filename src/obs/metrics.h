@@ -1,0 +1,174 @@
+#ifndef PXML_OBS_METRICS_H_
+#define PXML_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pxml {
+namespace obs {
+
+/// A monotonic counter. Increments are relaxed atomic adds — the cheapest
+/// instrumentation the hardware offers — so counters stay enabled
+/// unconditionally on every hot path (DESIGN.md §10: only *tracing* is
+/// gated; metrics are always on).
+///
+/// Memory-order contract: Add/value use memory_order_relaxed. Totals are
+/// exact (fetch_add never loses increments); a value() read concurrent
+/// with writers may lag by in-flight increments but is monotonically
+/// consistent. Readers that need "all increments from phase X" must
+/// synchronize with the writers through an external mechanism (a join, a
+/// TaskGroup::Wait, a mutex) — exactly the discipline the query engine
+/// already follows for its stats structs.
+class Counter {
+ public:
+  void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-writer-wins signed gauge (e.g. pool thread count, cache size).
+/// Same relaxed contract as Counter.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A fixed log2-bucket histogram for latency-like quantities (typically
+/// nanoseconds). Value v lands in bucket bit_width(v): bucket 0 holds
+/// exactly {0}, bucket i >= 1 holds [2^(i-1), 2^i). 65 buckets cover the
+/// whole uint64 domain, so Record never branches on range and never
+/// allocates. Count/sum/buckets are all relaxed atomics (see Counter for
+/// the contract); a concurrent snapshot may observe a Record's bucket
+/// increment before its sum increment — totals are exact once writers
+/// are quiesced.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  static std::size_t BucketIndex(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value of bucket i (0 for i == 0).
+  static std::uint64_t BucketLowerBound(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Largest value of bucket i (0 for i == 0, 2^i - 1 otherwise).
+  static std::uint64_t BucketUpperBound(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void Record(std::uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// A point-in-time copy of every registered metric, exportable as text
+/// (one `name value` line per counter/gauge, `name_bucket[lo,hi] count`
+/// lines per histogram) or as JSON (the schema checked in at
+/// bench/schema/metrics.schema.json).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// (bucket index, count) for non-empty buckets only, ascending.
+    std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// The counter's value, or 0 if absent (counters are created lazily on
+  /// first touch, so "absent" and "never incremented" are equivalent).
+  std::uint64_t counter(std::string_view name) const;
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// The process-wide metrics registry. Metrics are registered statically:
+/// a hot path keeps a function-local static reference
+///
+///   static Counter& ops = Registry::Global().GetCounter("pxml.x.ops");
+///   ops.Add(n);
+///
+/// so the registry mutex is paid once per call site per process, and the
+/// steady-state cost is a single relaxed atomic add. Names are
+/// dot-separated (`pxml.<subsystem>.<metric>`); a name identifies one
+/// metric for the process lifetime — GetCounter twice with the same name
+/// returns the same object, and registered metrics are never removed
+/// (references stay valid forever).
+///
+/// Registry counters are cumulative across every engine/cache/pool
+/// instance in the process; the per-query and per-batch stats structs
+/// (EpsilonStats, ProjectionStats, BatchStats) remain the attribution
+/// mechanism and are flushed into the registry at pass boundaries, so
+/// registry deltas reconcile exactly with the legacy struct totals
+/// (verified by `bench_frozen_kernels --check`).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Writes Registry::Global().Snapshot() to `path`: ".json" suffix picks
+/// the JSON export, anything else the text export. Returns false (with a
+/// message on stderr) when the file cannot be written — callers in
+/// benches exit non-zero on that.
+bool WriteGlobalMetrics(const std::string& path);
+
+}  // namespace obs
+}  // namespace pxml
+
+#endif  // PXML_OBS_METRICS_H_

@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pxml {
+namespace obs {
+
+namespace {
+
+/// The calling thread's stack of open spans, tagged with their session
+/// so interleaved sessions on one thread (rare, but a bench can trace a
+/// query while a surrounding harness traces the sweep) nest within the
+/// right tree. Entries are strictly LIFO because TraceSpan is a stack
+/// object.
+struct OpenSpanEntry {
+  const TraceSession* session;
+  std::uint32_t index;
+};
+
+thread_local std::vector<OpenSpanEntry> tls_open_spans;
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendArgs(std::string& out, const std::vector<SpanArg>& args) {
+  out += "\"args\":{";
+  char buf[48];
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    AppendEscaped(out, args[i].key);
+    out += "\":";
+    switch (args[i].type) {
+      case SpanArg::Type::kUint:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, args[i].u);
+        out += buf;
+        break;
+      case SpanArg::Type::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.17g", args[i].d);
+        out += buf;
+        break;
+      case SpanArg::Type::kString:
+        out += '"';
+        AppendEscaped(out, args[i].s);
+        out += '"';
+        break;
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceSession::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t TraceSession::OpenSpan(const char* name) {
+  // Parent = innermost open span of *this* session on *this* thread.
+  std::uint32_t parent = kNoSpan;
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend(); ++it) {
+    if (it->session == this) {
+      parent = it->index;
+      break;
+    }
+  }
+  const std::uint64_t start = NowNs();
+  std::uint32_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = static_cast<std::uint32_t>(spans_.size());
+    SpanRecord rec;
+    rec.name = name;
+    rec.start_ns = start;
+    rec.parent = parent;
+    rec.tid = tids_.emplace(std::this_thread::get_id(),
+                            static_cast<std::uint32_t>(tids_.size()))
+                  .first->second;
+    spans_.push_back(std::move(rec));
+  }
+  tls_open_spans.push_back(OpenSpanEntry{this, index});
+  return index;
+}
+
+void TraceSession::CloseSpan(std::uint32_t index, std::vector<SpanArg> args) {
+  const std::uint64_t end = NowNs();
+  // TraceSpan is a stack object, so this session's entry is on top of
+  // the thread's stack (possibly under entries of other sessions only if
+  // those leaked — assert-free best effort: pop the matching entry).
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend(); ++it) {
+    if (it->session == this && it->index == index) {
+      tls_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord& rec = spans_[index];
+  rec.dur_ns = end - rec.start_ns;
+  rec.closed = true;
+  rec.args = std::move(args);
+}
+
+std::uint64_t TraceSession::ChildDurationNs(std::uint32_t parent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const SpanRecord& rec : spans_) {
+    if (rec.parent == parent && rec.closed) total += rec.dur_ns;
+  }
+  return total;
+}
+
+std::string TraceSession::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const SpanRecord& rec : spans_) {
+    if (!rec.closed) continue;  // open spans have no duration yet
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, rec.name);
+    // Complete ("X") events; ts/dur are microseconds per the trace-event
+    // spec, emitted with fractional-ns precision.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"pxml\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f,",
+                  rec.tid, static_cast<double>(rec.start_ns) / 1e3,
+                  static_cast<double>(rec.dur_ns) / 1e3);
+    out += buf;
+    AppendArgs(out, rec.args);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceSession::WriteChromeTrace(const std::string& path) const {
+  const std::string body = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace output file: " + path);
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace pxml

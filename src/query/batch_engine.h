@@ -37,10 +37,14 @@ class BatchQueryEngine {
 
   /// Evaluates the whole batch; answers[i] corresponds to queries[i].
   /// The returned status is only non-OK for engine-level failures;
-  /// per-query failures are reported in each BatchAnswer.
+  /// per-query failures are reported in each BatchAnswer. `trace`
+  /// (optional) records the batch's span tree exactly as QueryEngine::Run
+  /// does; each answer carries its QueryProfile either way.
   Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
-                                       BatchStats* stats = nullptr) const {
-    return engine_.Run(queries, stats);
+                                       BatchStats* stats = nullptr,
+                                       obs::TraceSession* trace = nullptr)
+      const {
+    return engine_.Run(queries, stats, trace);
   }
 
  private:

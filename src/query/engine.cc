@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "query/frozen.h"
 #include "util/strings.h"
 
@@ -23,6 +24,39 @@ double ProcessCpuSeconds() {
 
 Status StaleStatus() {
   return Status::Stale("a mutation is in progress on this engine");
+}
+
+const char* KindName(BatchQuery::Kind kind) {
+  switch (kind) {
+    case BatchQuery::Kind::kPoint:
+      return "point";
+    case BatchQuery::Kind::kExists:
+      return "exists";
+    case BatchQuery::Kind::kValue:
+      return "value";
+    case BatchQuery::Kind::kCondition:
+      return "condition";
+    case BatchQuery::Kind::kAncestorProject:
+      return "ancestor_project";
+  }
+  return "unknown";
+}
+
+/// Span names must be static strings (SpanRecord stores the pointer).
+const char* QuerySpanName(BatchQuery::Kind kind) {
+  switch (kind) {
+    case BatchQuery::Kind::kPoint:
+      return "query:point";
+    case BatchQuery::Kind::kExists:
+      return "query:exists";
+    case BatchQuery::Kind::kValue:
+      return "query:value";
+    case BatchQuery::Kind::kCondition:
+      return "query:condition";
+    case BatchQuery::Kind::kAncestorProject:
+      return "query:ancestor_project";
+  }
+  return "query:unknown";
 }
 
 }  // namespace
@@ -140,15 +174,20 @@ std::shared_ptr<const FrozenInstance> QueryEngine::FrozenSnapshot() const {
 
 BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
                                 ProjectionStats* projection_stats,
-                                const EpsilonHooks& hooks,
-                                const FrozenInstance* frozen) const {
+                                EpsilonStats* eps_stats,
+                                const FrozenInstance* frozen,
+                                obs::TraceSession* trace) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::TraceSpan query_span(trace, QuerySpanName(query.kind));
+
   ParallelOptions parallel;
   parallel.pool = pool_.get();
   parallel.min_parallel_width = options_.min_parallel_width;
 
   // Each query leases its own scratch arena: concurrent batch queries get
   // private buffers, returned (warm) to the pool when the query finishes.
-  EpsilonHooks query_hooks = hooks;
+  EpsilonHooks query_hooks = Hooks(eps_stats);
+  query_hooks.trace = trace;
   std::optional<EpsilonScratchPool::Lease> lease;
   if (frozen != nullptr && scratch_pool_ != nullptr) {
     lease.emplace(scratch_pool_->Acquire());
@@ -201,7 +240,7 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
     case BatchQuery::Kind::kAncestorProject: {
       Result<ProbabilisticInstance> projected =
           AncestorProject(*instance_, query.path, projection_stats, parallel,
-                          query_hooks.frozen, query_hooks.scratch);
+                          query_hooks.frozen, query_hooks.scratch, trace);
       if (projected.ok()) {
         answer.projection = std::move(projected).ValueOrDie();
       } else {
@@ -210,11 +249,74 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
       break;
     }
   }
+
+  // The profile reads the same per-query tallies the registry metrics
+  // were flushed from, so the three views (profile, BatchStats, registry
+  // deltas) always agree.
+  QueryProfile& prof = answer.profile;
+  prof.kind = KindName(query.kind);
+  prof.span = query_span.index();
+  prof.epsilon_recomputed =
+      eps_stats->recomputed.load(std::memory_order_relaxed);
+  prof.cache_lookups =
+      eps_stats->cache_lookups.load(std::memory_order_relaxed);
+  prof.cache_hits = eps_stats->cache_hits.load(std::memory_order_relaxed);
+  prof.cache_misses = prof.cache_lookups - prof.cache_hits;
+  prof.frozen_passes =
+      eps_stats->frozen_passes.load(std::memory_order_relaxed) +
+      projection_stats->frozen_passes;
+  prof.generic_passes =
+      eps_stats->generic_passes.load(std::memory_order_relaxed);
+  if (query.kind == BatchQuery::Kind::kAncestorProject &&
+      answer.status.ok() && projection_stats->frozen_passes == 0) {
+    // A completed projection whose marginalization did not run frozen ran
+    // the generic interpreter (the pass itself has no tally slot).
+    ++prof.generic_passes;
+  }
+  if (prof.frozen_passes > 0) {
+    prof.dispatch = prof.generic_passes > 0 ? "mixed" : "frozen";
+    if (frozen != nullptr) prof.kernel = frozen->KernelMix();
+  }
+  prof.opf_row_ops = eps_stats->opf_row_ops.load(std::memory_order_relaxed) +
+                     projection_stats->opf_row_ops;
+  prof.entries_materialized =
+      eps_stats->entries_materialized.load(std::memory_order_relaxed) +
+      projection_stats->entries_materialized;
+  prof.bytes_allocated =
+      eps_stats->bytes_allocated.load(std::memory_order_relaxed) +
+      projection_stats->bytes_allocated;
+  prof.locate_seconds = projection_stats->locate_seconds;
+  prof.update_seconds = projection_stats->update_seconds;
+  prof.structure_seconds = projection_stats->structure_seconds;
+  prof.kept_objects = projection_stats->kept_objects;
+  prof.processed_entries = projection_stats->processed_entries;
+  prof.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  {
+    using obs::Registry;
+    static obs::Counter& c_queries =
+        Registry::Global().GetCounter("pxml.engine.queries");
+    static obs::Counter& c_failed =
+        Registry::Global().GetCounter("pxml.engine.queries_failed");
+    static obs::Histogram& h_latency =
+        Registry::Global().GetHistogram("pxml.engine.query_ns");
+    c_queries.Increment();
+    if (!answer.status.ok()) c_failed.Increment();
+    h_latency.Record(static_cast<std::uint64_t>(prof.wall_seconds * 1e9));
+  }
+  if (query_span.enabled()) {
+    query_span.Arg("kind", prof.kind);
+    query_span.Arg("dispatch", prof.dispatch);
+    query_span.Arg("ok", static_cast<std::uint64_t>(answer.status.ok()));
+  }
   return answer;
 }
 
 Result<std::vector<BatchAnswer>> QueryEngine::Run(
-    const std::vector<BatchQuery>& queries, BatchStats* stats) const {
+    const std::vector<BatchQuery>& queries, BatchStats* stats,
+    obs::TraceSession* trace) const {
   if (mutators_.load(std::memory_order_acquire) > 0) {
     // Fail fast instead of blocking behind the writer (and instead of
     // self-deadlocking when the guard's own thread queries).
@@ -228,45 +330,51 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
   }
   std::shared_lock<std::shared_mutex> read_lock(mu_);
 
+  obs::TraceSpan batch_span(trace, "batch");
   const auto wall0 = std::chrono::steady_clock::now();
   const double cpu0 = ProcessCpuSeconds();
-  const ThreadPool::Stats pool0 =
-      pool_ != nullptr ? pool_->stats() : ThreadPool::Stats{};
   const EpsilonMemoCache::Stats cache0 = cache_stats();
-  // tasks/steals are differenced against pool0 below; the queue-depth
-  // high-water mark cannot be, so restart it for this batch.
-  if (pool_ != nullptr) pool_->ResetMaxQueueDepth();
+  // Pool activity is attributed to this batch at the moment it happens
+  // (task tagging, see ThreadPool::BatchMetricsScope) — concurrent
+  // batches on one pool cannot smear each other's numbers.
+  BatchMetrics pool_metrics;
 
-  // ε counters for this batch, shared by every query (atomic; exact).
-  EpsilonStats eps_stats;
-  const EpsilonHooks hooks = Hooks(&eps_stats);
   // One snapshot for the whole batch (the shared lock pins the instance,
   // so it cannot go stale mid-batch); the shared_ptr keeps it alive even
   // if a later batch refreezes concurrently.
   const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
 
   std::vector<BatchAnswer> answers(queries.size());
-  // Projection phase stats are accumulated per query slot and merged
-  // sequentially below, keeping the parallel path free of shared counters.
+  // Per-query stats slots, merged sequentially below: each query tallies
+  // into private counters (which also feed its QueryProfile), keeping
+  // the parallel path free of cross-query shared counters.
   std::vector<ProjectionStats> projection_stats(queries.size());
+  std::vector<EpsilonStats> eps_stats(queries.size());
 
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      answers[i] = RunOne(queries[i], &projection_stats[i], hooks,
-                          frozen.get());
+      answers[i] = RunOne(queries[i], &projection_stats[i], &eps_stats[i],
+                          frozen.get(), trace);
     }
   } else {
+    ThreadPool::BatchMetricsScope metrics_scope(&pool_metrics);
     TaskGroup group(pool_.get());
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      group.Run([this, &queries, &answers, &projection_stats, &hooks, &frozen,
-                 i] {
-        answers[i] =
-            RunOne(queries[i], &projection_stats[i], hooks, frozen.get());
+      group.Run([this, &queries, &answers, &projection_stats, &eps_stats,
+                 &frozen, trace, i] {
+        answers[i] = RunOne(queries[i], &projection_stats[i], &eps_stats[i],
+                            frozen.get(), trace);
       });
     }
     group.Wait();
   }
 
+  {
+    using obs::Registry;
+    static obs::Counter& c_batches =
+        Registry::Global().GetCounter("pxml.engine.batches");
+    c_batches.Increment();
+  }
   if (stats != nullptr) {
     *stats = BatchStats{};
     for (const ProjectionStats& ps : projection_stats) {
@@ -280,36 +388,49 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
       stats->bytes_allocated += ps.bytes_allocated;
       stats->frozen_passes += ps.frozen_passes;
     }
+    for (const EpsilonStats& es : eps_stats) {
+      stats->epsilon_recomputed +=
+          es.recomputed.load(std::memory_order_relaxed);
+      stats->cache_lookups +=
+          es.cache_lookups.load(std::memory_order_relaxed);
+      stats->cache_hits += es.cache_hits.load(std::memory_order_relaxed);
+      stats->opf_row_ops += es.opf_row_ops.load(std::memory_order_relaxed);
+      stats->entries_materialized +=
+          es.entries_materialized.load(std::memory_order_relaxed);
+      stats->bytes_allocated +=
+          es.bytes_allocated.load(std::memory_order_relaxed);
+      stats->frozen_passes +=
+          es.frozen_passes.load(std::memory_order_relaxed);
+      stats->generic_passes +=
+          es.generic_passes.load(std::memory_order_relaxed);
+    }
+    stats->cache_misses = stats->cache_lookups - stats->cache_hits;
     stats->threads = threads();
     if (pool_ != nullptr) {
-      const ThreadPool::Stats pool1 = pool_->stats();
-      stats->tasks =
-          static_cast<std::size_t>(pool1.tasks_executed - pool0.tasks_executed);
-      stats->steal_count =
-          static_cast<std::size_t>(pool1.steals - pool0.steals);
-      stats->max_queue_depth = pool1.max_queue_depth;
+      // Exact: group.Wait() above quiesced every task of this batch (the
+      // BatchMetrics memory-order contract).
+      stats->tasks = static_cast<std::size_t>(
+          pool_metrics.tasks.load(std::memory_order_relaxed));
+      stats->steal_count = static_cast<std::size_t>(
+          pool_metrics.steals.load(std::memory_order_relaxed));
+      stats->max_queue_depth =
+          pool_metrics.max_queue_depth.load(std::memory_order_relaxed);
     }
-    stats->epsilon_recomputed =
-        eps_stats.recomputed.load(std::memory_order_relaxed);
-    stats->cache_lookups =
-        eps_stats.cache_lookups.load(std::memory_order_relaxed);
-    stats->cache_hits = eps_stats.cache_hits.load(std::memory_order_relaxed);
-    stats->cache_misses = stats->cache_lookups - stats->cache_hits;
     const EpsilonMemoCache::Stats cache1 = cache_stats();
     stats->cache_invalidated = cache1.invalidated - cache0.invalidated;
     stats->cache_evictions = cache1.evictions - cache0.evictions;
-    stats->opf_row_ops +=
-        eps_stats.opf_row_ops.load(std::memory_order_relaxed);
-    stats->entries_materialized +=
-        eps_stats.entries_materialized.load(std::memory_order_relaxed);
-    stats->bytes_allocated +=
-        eps_stats.bytes_allocated.load(std::memory_order_relaxed);
-    stats->frozen_passes +=
-        eps_stats.frozen_passes.load(std::memory_order_relaxed);
     stats->wall_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall0)
                               .count();
     stats->cpu_seconds = ProcessCpuSeconds() - cpu0;
+  }
+  if (batch_span.enabled()) {
+    batch_span.Arg("queries", static_cast<std::uint64_t>(queries.size()));
+    batch_span.Arg("threads", static_cast<std::uint64_t>(threads()));
+    batch_span.Arg("tasks",
+                   pool_metrics.tasks.load(std::memory_order_relaxed));
+    batch_span.Arg("steals",
+                   pool_metrics.steals.load(std::memory_order_relaxed));
   }
   return answers;
 }

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "algebra/projection.h"
@@ -15,6 +16,7 @@
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
 #include "prob/value.h"
+#include "obs/trace.h"
 #include "query/epsilon_cache.h"
 #include "query/point_queries.h"
 #include "util/status.h"
@@ -106,6 +108,8 @@ struct BatchStats : ProjectionStats {
   std::uint64_t bytes_allocated = 0;
   /// ε/marginalization passes served by the frozen kernels.
   std::uint64_t frozen_passes = 0;
+  /// ε passes that ran on the generic interpreter instead.
+  std::uint64_t generic_passes = 0;
 };
 
 /// One query of a batch: the Section-6.2 point/exists/value queries, a
@@ -131,6 +135,58 @@ struct BatchQuery {
   static BatchQuery AncestorProjection(PathExpression p);
 };
 
+/// The execution profile of one query, filled by the engine for every
+/// query it runs. The counters are always on (they ride the same
+/// pass-local tallies the registry metrics flush from); the `span` link
+/// is only live when the batch ran with a TraceSession.
+struct QueryProfile {
+  /// Stable lower-case kind name ("point", "exists", "value",
+  /// "condition", "ancestor_project").
+  const char* kind = "";
+  /// End-to-end latency of this query inside the engine, including
+  /// scratch lease and dispatch (seconds).
+  double wall_seconds = 0.0;
+
+  /// ε work: per-object evaluations actually performed, and the memo
+  /// cache's view of this query (lookups = hits + misses; all 0 with the
+  /// cache off).
+  std::uint64_t epsilon_recomputed = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  /// Dispatch: passes served by the compiled frozen kernels vs the
+  /// generic interpreter (a projection contributes its marginalization
+  /// pass; probability kinds contribute their ε pass).
+  std::uint64_t frozen_passes = 0;
+  std::uint64_t generic_passes = 0;
+  /// "frozen" when every pass ran on the kernels, "generic" when none
+  /// did, "mixed" otherwise.
+  const char* dispatch = "generic";
+  /// The kernel mix of the frozen snapshot the query ran against
+  /// (FrozenInstance::KernelMix); empty on the generic path.
+  std::string kernel;
+
+  /// Work/footprint counters, ε and projection passes combined (see
+  /// EpsilonStats / ProjectionStats for the counting rules).
+  std::uint64_t opf_row_ops = 0;
+  std::uint64_t entries_materialized = 0;
+  std::uint64_t bytes_allocated = 0;
+
+  /// Projection phase breakdown (kAncestorProject only; zero otherwise).
+  double locate_seconds = 0.0;
+  double update_seconds = 0.0;
+  double structure_seconds = 0.0;
+  std::size_t kept_objects = 0;
+  std::size_t processed_entries = 0;
+
+  /// This query's root span in the batch's TraceSession — its children
+  /// are the operator tree ("epsilon" / "locate" / "update" /
+  /// "structure" with their counters attached). obs::kNoSpan when the
+  /// batch ran without tracing.
+  std::uint32_t span = obs::kNoSpan;
+};
+
 /// The answer to one BatchQuery. `status` is per-query: one failing query
 /// does not poison the rest of the batch.
 struct BatchAnswer {
@@ -140,6 +196,8 @@ struct BatchAnswer {
   double probability = 0.0;
   /// The projected instance for kAncestorProject when status is OK.
   std::optional<ProbabilisticInstance> projection;
+  /// How the query executed (always filled, even on failure).
+  QueryProfile profile;
 };
 
 /// The unified query facade: owns (or borrows) a probabilistic instance
@@ -201,8 +259,16 @@ class QueryEngine {
   /// The returned status is only non-OK for engine-level failures;
   /// per-query failures are reported in each BatchAnswer. If a mutation
   /// is in progress every answer is kStale (see class comment).
+  ///
+  /// A non-null `trace` records the batch as a span tree — one "batch"
+  /// root, one "query:<kind>" span per query (linked from its
+  /// QueryProfile::span), and the per-pass operator spans beneath — for
+  /// export via obs::TraceSession::WriteChromeTrace. Null is the
+  /// zero-cost disabled path; tracing never changes answers.
   Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
-                                       BatchStats* stats = nullptr) const;
+                                       BatchStats* stats = nullptr,
+                                       obs::TraceSession* trace = nullptr)
+      const;
 
   /// Single-query conveniences: the Section-6.2 point queries evaluated
   /// through the facade (shared lock, ε-memo cache, kStale on a racing
@@ -263,10 +329,14 @@ class QueryEngine {
                         ObjectId donor_root);
 
  private:
+  /// Runs one query: opens its "query:<kind>" span, leases scratch,
+  /// dispatches, and fills the answer's QueryProfile from the per-query
+  /// stats slots (`eps_stats` and `projection_stats` are this query's
+  /// private tallies; the caller merges them into the BatchStats).
   BatchAnswer RunOne(const BatchQuery& query,
                      ProjectionStats* projection_stats,
-                     const EpsilonHooks& hooks,
-                     const FrozenInstance* frozen) const;
+                     EpsilonStats* eps_stats, const FrozenInstance* frozen,
+                     obs::TraceSession* trace) const;
   /// Non-null iff the engine may mutate (owning mode).
   ProbabilisticInstance* mutable_instance() { return owned_.get(); }
   EpsilonHooks Hooks(EpsilonStats* stats) const {

@@ -2,10 +2,83 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/frozen.h"
 #include "util/strings.h"
 
 namespace pxml {
+
+void FlushEpsilonPass(const EpsilonStats& tally, EpsilonStats* out,
+                      obs::TraceSpan& span, bool frozen) {
+  const std::uint64_t recomputed =
+      tally.recomputed.load(std::memory_order_relaxed);
+  const std::uint64_t lookups =
+      tally.cache_lookups.load(std::memory_order_relaxed);
+  const std::uint64_t hits = tally.cache_hits.load(std::memory_order_relaxed);
+  const std::uint64_t row_ops =
+      tally.opf_row_ops.load(std::memory_order_relaxed);
+  const std::uint64_t materialized =
+      tally.entries_materialized.load(std::memory_order_relaxed);
+  const std::uint64_t bytes =
+      tally.bytes_allocated.load(std::memory_order_relaxed);
+  const std::uint64_t frozen_passes =
+      tally.frozen_passes.load(std::memory_order_relaxed);
+  if (out != nullptr) {
+    out->recomputed.fetch_add(recomputed, std::memory_order_relaxed);
+    out->cache_lookups.fetch_add(lookups, std::memory_order_relaxed);
+    out->cache_hits.fetch_add(hits, std::memory_order_relaxed);
+    out->opf_row_ops.fetch_add(row_ops, std::memory_order_relaxed);
+    out->entries_materialized.fetch_add(materialized,
+                                        std::memory_order_relaxed);
+    out->bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+    out->frozen_passes.fetch_add(frozen_passes, std::memory_order_relaxed);
+    if (!frozen) {
+      out->generic_passes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  {
+    using obs::Counter;
+    using obs::Registry;
+    static Counter& c_recomputed =
+        Registry::Global().GetCounter("pxml.epsilon.recomputed");
+    static Counter& c_lookups =
+        Registry::Global().GetCounter("pxml.epsilon.cache_lookups");
+    static Counter& c_hits =
+        Registry::Global().GetCounter("pxml.epsilon.cache_hits");
+    static Counter& c_row_ops =
+        Registry::Global().GetCounter("pxml.epsilon.opf_row_ops");
+    static Counter& c_materialized =
+        Registry::Global().GetCounter("pxml.epsilon.entries_materialized");
+    static Counter& c_bytes =
+        Registry::Global().GetCounter("pxml.epsilon.bytes_allocated");
+    static Counter& c_generic =
+        Registry::Global().GetCounter("pxml.epsilon.passes_generic");
+    static Counter& c_frozen =
+        Registry::Global().GetCounter("pxml.epsilon.passes_frozen");
+    c_recomputed.Add(recomputed);
+    c_lookups.Add(lookups);
+    c_hits.Add(hits);
+    c_row_ops.Add(row_ops);
+    c_materialized.Add(materialized);
+    c_bytes.Add(bytes);
+    // A frozen pass that failed validation before its frozen_passes bump
+    // counts under neither (matching the legacy stats struct exactly).
+    if (frozen) {
+      c_frozen.Add(frozen_passes);
+    } else {
+      c_generic.Increment();
+    }
+  }
+  if (span.enabled()) {
+    span.Arg("dispatch", frozen ? "frozen" : "generic");
+    span.Arg("recomputed", recomputed);
+    span.Arg("cache_lookups", lookups);
+    span.Arg("cache_hits", hits);
+    span.Arg("opf_row_ops", row_ops);
+    span.Arg("entries_materialized", materialized);
+    span.Arg("bytes_allocated", bytes);
+  }
+}
 
 Result<double> EpsilonPropagator::RootEpsilon(
     const PathExpression& path, std::span<const TargetEps> targets) const {
@@ -16,9 +89,21 @@ Result<double> EpsilonPropagator::RootEpsilon(
   if (frozen_ != nullptr && scratch_ != nullptr &&
       frozen_->InSyncWith(instance_)) {
     return FrozenRootEpsilon(*frozen_, instance_, path, targets, parallel_,
-                             cache_, stats_, scratch_);
+                             cache_, stats_, scratch_, trace_);
   }
+  obs::TraceSpan span(trace_, "epsilon");
+  // Every counter of the pass lands in a pass-local tally first and is
+  // flushed exactly once at pass end — to the caller's stats, to the
+  // registry, and onto the span — so the three always agree.
+  EpsilonStats tally;
+  Result<double> result = RootEpsilonGeneric(path, targets, tally);
+  FlushEpsilonPass(tally, stats_, span, /*frozen=*/false);
+  return result;
+}
 
+Result<double> EpsilonPropagator::RootEpsilonGeneric(
+    const PathExpression& path, std::span<const TargetEps> targets,
+    EpsilonStats& tally) const {
   const WeakInstance& weak = instance_.weak();
   PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
   if (path.start != weak.root()) {
@@ -39,10 +124,7 @@ Result<double> EpsilonPropagator::RootEpsilon(
     eps[t.object] = t.eps;
   }
   if (n == 0) {
-    if (stats_ != nullptr) {
-      stats_->bytes_allocated.fetch_add(pass_bytes,
-                                        std::memory_order_relaxed);
-    }
+    tally.bytes_allocated.fetch_add(pass_bytes, std::memory_order_relaxed);
     return eps[weak.root()];
   }
 
@@ -72,9 +154,7 @@ Result<double> EpsilonPropagator::RootEpsilon(
     pass_bytes += fp.size() * sizeof(Fingerprint) +
                   suffix.size() * sizeof(Fingerprint);
   }
-  if (stats_ != nullptr) {
-    stats_->bytes_allocated.fetch_add(pass_bytes, std::memory_order_relaxed);
-  }
+  tally.bytes_allocated.fetch_add(pass_bytes, std::memory_order_relaxed);
 
   // ε of one frontier object from its children's (finalized) ε values,
   // served from the memo when the subtree is unchanged. Writes only its
@@ -92,14 +172,10 @@ Result<double> EpsilonPropagator::RootEpsilon(
       fp[o] = f;
       key = f;
       key.MixFingerprint(suffix[level]);
-      if (stats_ != nullptr) {
-        stats_->cache_lookups.fetch_add(1, std::memory_order_relaxed);
-      }
+      tally.cache_lookups.fetch_add(1, std::memory_order_relaxed);
       if (std::optional<double> hit =
               cache_->Lookup(key, instance_.SubtreeChangeVersion(o))) {
-        if (stats_ != nullptr) {
-          stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
-        }
+        tally.cache_hits.fetch_add(1, std::memory_order_relaxed);
         eps[o] = *hit;
         return Status::Ok();
       }
@@ -151,15 +227,13 @@ Result<double> EpsilonPropagator::RootEpsilon(
       });
     }
     eps[o] = e;
-    if (stats_ != nullptr) {
-      stats_->recomputed.fetch_add(1, std::memory_order_relaxed);
-      stats_->opf_row_ops.fetch_add(ops, std::memory_order_relaxed);
-      if (materialized != 0) {
-        stats_->entries_materialized.fetch_add(materialized,
-                                               std::memory_order_relaxed);
-      }
-      stats_->bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+    tally.recomputed.fetch_add(1, std::memory_order_relaxed);
+    tally.opf_row_ops.fetch_add(ops, std::memory_order_relaxed);
+    if (materialized != 0) {
+      tally.entries_materialized.fetch_add(materialized,
+                                           std::memory_order_relaxed);
     }
+    tally.bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
     if (cache_ != nullptr) cache_->Insert(key, e, instance_.version());
     return Status::Ok();
   };

@@ -7,6 +7,7 @@
 
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
+#include "obs/trace.h"
 #include "prob/value.h"
 #include "query/epsilon_cache.h"
 #include "util/status.h"
@@ -52,7 +53,20 @@ struct EpsilonStats {
   std::atomic<std::uint64_t> bytes_allocated{0};
   /// ε passes answered by the frozen kernels (vs the generic interpreter).
   std::atomic<std::uint64_t> frozen_passes{0};
+  /// ε passes handled by the generic interpreter (successful or not). A
+  /// frozen pass that failed validation before its frozen_passes bump
+  /// counts under neither, matching the historical frozen_passes rule.
+  std::atomic<std::uint64_t> generic_passes{0};
 };
+
+/// Folds a pass-local tally into the caller's stats (if any), mirrors it
+/// into the global `pxml.epsilon.*` registry counters, and attaches the
+/// counters as args on `span` (a no-op span when tracing is off).
+/// Every ε pass — generic or frozen — flushes through here exactly once,
+/// which is what makes registry deltas reconcile exactly with the legacy
+/// EpsilonStats totals (`bench_frozen_kernels --check`).
+void FlushEpsilonPass(const EpsilonStats& tally, EpsilonStats* out,
+                      obs::TraceSpan& span, bool frozen);
 
 class FrozenInstance;
 struct EpsilonScratch;
@@ -93,18 +107,24 @@ class EpsilonPropagator {
   /// DESIGN.md §9). An out-of-sync snapshot silently falls back to the
   /// generic interpreter, so a stale pointer can cost speed, never
   /// correctness.
+  ///
+  /// A non-null `trace` records each pass as an "epsilon" span with the
+  /// pass's counters attached; null (the default) is the zero-cost
+  /// disabled path.
   explicit EpsilonPropagator(const ProbabilisticInstance& instance,
                              ParallelOptions parallel = {},
                              EpsilonMemoCache* cache = nullptr,
                              EpsilonStats* stats = nullptr,
                              const FrozenInstance* frozen = nullptr,
-                             EpsilonScratch* scratch = nullptr)
+                             EpsilonScratch* scratch = nullptr,
+                             obs::TraceSession* trace = nullptr)
       : instance_(instance),
         parallel_(parallel),
         cache_(cache),
         stats_(stats),
         frozen_(frozen),
-        scratch_(scratch) {}
+        scratch_(scratch),
+        trace_(trace) {}
 
   /// ε_root for the given path with the given target survival
   /// probabilities. Targets must all lie in the path's final pruned
@@ -115,12 +135,19 @@ class EpsilonPropagator {
                              std::span<const TargetEps> targets) const;
 
  private:
+  /// The generic interpreter pass, counting into `tally` (which the
+  /// public wrapper flushes once, at pass end).
+  Result<double> RootEpsilonGeneric(const PathExpression& path,
+                                    std::span<const TargetEps> targets,
+                                    EpsilonStats& tally) const;
+
   const ProbabilisticInstance& instance_;
   ParallelOptions parallel_;
   EpsilonMemoCache* cache_;
   EpsilonStats* stats_;
   const FrozenInstance* frozen_;
   EpsilonScratch* scratch_;
+  obs::TraceSession* trace_;
 };
 
 }  // namespace pxml

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/metrics.h"
+
 namespace pxml {
 
 namespace {
@@ -12,6 +14,35 @@ inline std::uint64_t Mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+// Process-wide mirrors of the per-cache counters (cumulative across all
+// EpsilonMemoCache instances); the per-instance stats() remains the
+// attribution mechanism.
+obs::Counter& CacheHits() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.epsilon_cache.hits");
+  return c;
+}
+obs::Counter& CacheMisses() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.epsilon_cache.misses");
+  return c;
+}
+obs::Counter& CacheInvalidated() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.epsilon_cache.invalidated");
+  return c;
+}
+obs::Counter& CacheEvictions() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.epsilon_cache.evictions");
+  return c;
+}
+obs::Counter& CacheFlushes() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.epsilon_cache.flushes");
+  return c;
 }
 
 }  // namespace
@@ -37,6 +68,7 @@ std::optional<double> EpsilonMemoCache::Lookup(const Fingerprint& key,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMisses().Increment();
     return std::nullopt;
   }
   if (it->second.version < min_version) {
@@ -44,9 +76,11 @@ std::optional<double> EpsilonMemoCache::Lookup(const Fingerprint& key,
     // recorded. Leave it in place — the caller recomputes and Insert()
     // overwrites it with the fresh value.
     invalidated_.fetch_add(1, std::memory_order_relaxed);
+    CacheInvalidated().Increment();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  CacheHits().Increment();
   TouchLocked(it->second);
   return it->second.eps;
 }
@@ -65,6 +99,7 @@ void EpsilonMemoCache::Insert(const Fingerprint& key, double eps,
     entries_.erase(lru_.back());
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheEvictions().Increment();
   }
   lru_.push_front(key);
   entries_.emplace(key, Entry{eps, version, lru_.begin()});
@@ -79,6 +114,7 @@ void EpsilonMemoCache::SyncStructureVersion(std::uint64_t structure_version) {
     entries_.clear();
     lru_.clear();
     flushes_.fetch_add(1, std::memory_order_relaxed);
+    CacheFlushes().Increment();
   }
   structure_version_ = structure_version;
   structure_version_known_ = true;

@@ -202,13 +202,48 @@ Result<FrozenInstance> FrozenInstance::Freeze(
   return fz;
 }
 
-Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
-                                 const ProbabilisticInstance& instance,
-                                 const PathExpression& path,
-                                 std::span<const TargetEps> targets,
-                                 const ParallelOptions& parallel,
-                                 EpsilonMemoCache* cache, EpsilonStats* stats,
-                                 EpsilonScratch* scratch) {
+std::string FrozenInstance::KernelMix() const {
+  std::size_t explicit_n = 0, independent_n = 0, per_label_n = 0;
+  for (const Kernel& k : kernels_) {
+    switch (k.kind) {
+      case FrozenOpfKind::kExplicit:
+        ++explicit_n;
+        break;
+      case FrozenOpfKind::kIndependent:
+        ++independent_n;
+        break;
+      case FrozenOpfKind::kPerLabel:
+        ++per_label_n;
+        break;
+      case FrozenOpfKind::kLeaf:
+      case FrozenOpfKind::kMissing:
+        break;
+    }
+  }
+  std::string mix;
+  auto append = [&mix](const char* name, std::size_t n) {
+    if (n == 0) return;
+    if (!mix.empty()) mix += ',';
+    mix += StrCat(name, ":", n);
+  };
+  append("explicit", explicit_n);
+  append("independent", independent_n);
+  append("per_label", per_label_n);
+  return mix;
+}
+
+namespace {
+
+/// The pass body; every counter lands in `tally`, which the public
+/// wrapper flushes once at pass end.
+Result<double> FrozenRootEpsilonImpl(const FrozenInstance& frozen,
+                                     const ProbabilisticInstance& instance,
+                                     const PathExpression& path,
+                                     std::span<const TargetEps> targets,
+                                     const ParallelOptions& parallel,
+                                     EpsilonMemoCache* cache,
+                                     EpsilonStats& tally,
+                                     EpsilonScratch* scratch) {
   if (path.start != frozen.root()) {
     return Status::BadPath("epsilon propagation paths must start at the root");
   }
@@ -274,14 +309,10 @@ Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
     }
     for (ObjectId j : final_layer) s->mark[j] = 0;
   }
-  if (stats != nullptr) {
-    stats->frozen_passes.fetch_add(1, std::memory_order_relaxed);
-  }
+  tally.frozen_passes.fetch_add(1, std::memory_order_relaxed);
   if (n == 0) {
-    if (stats != nullptr) {
-      stats->bytes_allocated.fetch_add(s->TakeBytesGrown(),
-                                       std::memory_order_relaxed);
-    }
+    tally.bytes_allocated.fetch_add(s->TakeBytesGrown(),
+                                    std::memory_order_relaxed);
     return s->eps[frozen.root()];
   }
 
@@ -326,14 +357,10 @@ Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
       s->fp[o] = f;
       key = f;
       key.MixFingerprint(s->suffix[level]);
-      if (stats != nullptr) {
-        stats->cache_lookups.fetch_add(1, std::memory_order_relaxed);
-      }
+      tally.cache_lookups.fetch_add(1, std::memory_order_relaxed);
       if (std::optional<double> hit =
               cache->Lookup(key, instance.SubtreeChangeVersion(o))) {
-        if (stats != nullptr) {
-          stats->cache_hits.fetch_add(1, std::memory_order_relaxed);
-        }
+        tally.cache_hits.fetch_add(1, std::memory_order_relaxed);
         s->eps[o] = *hit;
         return Status::Ok();
       }
@@ -403,10 +430,8 @@ Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
       }
     }
     s->eps[o] = e;
-    if (stats != nullptr) {
-      stats->recomputed.fetch_add(1, std::memory_order_relaxed);
-      stats->opf_row_ops.fetch_add(ops, std::memory_order_relaxed);
-    }
+    tally.recomputed.fetch_add(1, std::memory_order_relaxed);
+    tally.opf_row_ops.fetch_add(ops, std::memory_order_relaxed);
     if (cache != nullptr) cache->Insert(key, e, instance.version());
     return Status::Ok();
   };
@@ -444,11 +469,28 @@ Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
     for (ObjectId j : next) s->mark[j] = 0;
     PXML_RETURN_IF_ERROR(level_status);
   }
-  if (stats != nullptr) {
-    stats->bytes_allocated.fetch_add(s->TakeBytesGrown(),
-                                     std::memory_order_relaxed);
-  }
+  tally.bytes_allocated.fetch_add(s->TakeBytesGrown(),
+                                  std::memory_order_relaxed);
   return s->eps[frozen.root()];
+}
+
+}  // namespace
+
+Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
+                                 const ProbabilisticInstance& instance,
+                                 const PathExpression& path,
+                                 std::span<const TargetEps> targets,
+                                 const ParallelOptions& parallel,
+                                 EpsilonMemoCache* cache, EpsilonStats* stats,
+                                 EpsilonScratch* scratch,
+                                 obs::TraceSession* trace) {
+  obs::TraceSpan span(trace, "epsilon");
+  EpsilonStats tally;
+  Result<double> result = FrozenRootEpsilonImpl(frozen, instance, path,
+                                                targets, parallel, cache,
+                                                tally, scratch);
+  FlushEpsilonPass(tally, stats, span, /*frozen=*/true);
+  return result;
 }
 
 }  // namespace pxml

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/probabilistic_instance.h"
@@ -210,6 +211,12 @@ class FrozenInstance {
 
   const Kernel& kernel(ObjectId o) const { return kernels_[o]; }
 
+  /// The compiled kernel mix as a compact tag, e.g.
+  /// "explicit:12,independent:4,per_label:2" (kinds with zero objects are
+  /// omitted; leaves/missing are structural, not kernels, and never
+  /// listed). This is the `kernel` tag a QueryProfile carries.
+  std::string KernelMix() const;
+
   /// CSR structure: the label ranges of o, ascending by label.
   std::span<const LabelRange> labels_of(ObjectId o) const {
     return {label_ranges_.data() + obj_labels_[o].begin,
@@ -282,13 +289,16 @@ class FrozenInstance {
 /// `scratch` must be non-null; `cache`/`stats` are optional and behave
 /// exactly as in the generic pass (same fingerprints, same version
 /// gating, interchangeable entries for explicit/independent kernels).
+/// A non-null `trace` records the pass as an "epsilon" span with the
+/// pass counters attached (dispatch="frozen").
 Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
                                  const ProbabilisticInstance& instance,
                                  const PathExpression& path,
                                  std::span<const TargetEps> targets,
                                  const ParallelOptions& parallel,
                                  EpsilonMemoCache* cache, EpsilonStats* stats,
-                                 EpsilonScratch* scratch);
+                                 EpsilonScratch* scratch,
+                                 obs::TraceSession* trace = nullptr);
 
 }  // namespace pxml
 

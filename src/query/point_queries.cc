@@ -16,7 +16,7 @@ Result<double> PointQuery(const ProbabilisticInstance& instance,
                         PrunedWeakPathLayers(instance.weak(), path));
   if (!layers.back().Contains(object)) return 0.0;
   EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
-                         hooks.frozen, hooks.scratch);
+                         hooks.frozen, hooks.scratch, hooks.trace);
   const TargetEps target{object, 1.0};
   return prop.RootEpsilon(path, std::span<const TargetEps>(&target, 1));
 }
@@ -32,7 +32,7 @@ Result<double> ExistsQuery(const ProbabilisticInstance& instance,
   for (ObjectId o : layers.back()) targets.push_back(TargetEps{o, 1.0});
   if (targets.empty()) return 0.0;
   EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
-                         hooks.frozen, hooks.scratch);
+                         hooks.frozen, hooks.scratch, hooks.trace);
   return prop.RootEpsilon(path, targets);
 }
 
@@ -93,7 +93,7 @@ Result<double> ConditionProbability(const ProbabilisticInstance& instance,
   }
   if (targets.empty()) return 0.0;
   EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
-                         hooks.frozen, hooks.scratch);
+                         hooks.frozen, hooks.scratch, hooks.trace);
   return prop.RootEpsilon(condition.path, targets);
 }
 

@@ -39,6 +39,9 @@ struct EpsilonHooks {
   EpsilonStats* stats = nullptr;
   const FrozenInstance* frozen = nullptr;
   EpsilonScratch* scratch = nullptr;
+  /// Records the ε pass as a trace span when non-null (see obs/trace.h);
+  /// null is the zero-cost disabled path.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// P(o ∈ p): the probability that object o satisfies path expression p in

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validates an observability export against its checked-in JSON schema.
+
+Usage: validate_obs_json.py SCHEMA.json FILE.json [FILE.json ...]
+
+Stdlib-only (CI containers have no jsonschema package): implements the
+subset of JSON Schema draft-07 the schemas in bench/schema/ actually use
+— type, required, properties, additionalProperties, items, enum,
+minimum. Unknown keywords are rejected loudly so a schema edit cannot
+silently disable validation.
+
+Exits 0 when every file validates, 1 with one line per violation
+otherwise.
+"""
+
+import json
+import sys
+
+HANDLED = {
+    "$schema", "title", "description",
+    "type", "required", "properties", "additionalProperties", "items",
+    "enum", "minimum",
+}
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON booleans are not integers.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path, errors):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        errors.append(f"{path}: schema uses unsupported keywords {sorted(unknown)}")
+        return
+
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    failed = False
+    for name in argv[2:]:
+        try:
+            with open(name) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {name}: {e}")
+            failed = True
+            continue
+        errors = []
+        validate(doc, schema, "$", errors)
+        if errors:
+            failed = True
+            print(f"FAIL {name}:")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            print(f"ok   {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
