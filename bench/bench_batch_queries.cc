@@ -7,14 +7,25 @@
 // ones before reporting.
 //
 // Usage: bench_batch_queries [--threads=N] [--seed=S] [--trace=PATH]
-//        [--metrics=PATH]
+//        [--metrics=PATH] [--json=PATH] [--mutate-rate=R]
 // --trace records the span tree of every batch (serial and parallel) as
 // Chrome trace-event JSON; --metrics snapshots the registry at exit.
+//
+// --mutate-rate=R (R in (0, 1]) switches to the MVCC mixed-workload
+// mode: a writer thread commits one ℘ mutation per MutationGuard,
+// throttled to R mutations per executed query, while the main thread
+// runs read batches against a mutable QueryEngine. Every batch pins one
+// snapshot epoch (answers never fail with kStale), and the bench reports
+// read throughput, commit throughput, epochs published, and how far
+// behind the head the read snapshots ran.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "fig7_common.h"
 #include "query/batch_engine.h"
+#include "query/engine.h"
 #include "xml/writer.h"
 
 namespace pxml {
@@ -73,11 +84,122 @@ void CheckIdentical(const std::vector<BatchAnswer>& serial,
   }
 }
 
+/// The MVCC mixed read/write mode behind --mutate-rate.
+int MixedMain(const BenchFlags& flags, double mutate_rate,
+              const ProbabilisticInstance& inst,
+              const std::vector<BatchQuery>& queries, ObsOutputs& obs) {
+  BatchOptions options;
+  options.threads = flags.threads;
+  options.cache = flags.cache;
+  QueryEngine engine(inst, options);
+
+  // Mutation victims: leaf VPFs (℘-only updates — the structure, and so
+  // the frozen CSR skeleton, never changes; publishes take the
+  // incremental Refreeze path).
+  std::vector<ObjectId> leaves;
+  for (ObjectId o : inst.weak().Objects()) {
+    if (inst.weak().IsLeaf(o) && inst.GetVpf(o) != nullptr) {
+      leaves.push_back(o);
+    }
+  }
+  if (leaves.empty()) {
+    std::fprintf(stderr, "no leaf VPFs to mutate\n");
+    return 1;
+  }
+
+  constexpr std::size_t kBatches = 20;
+  std::atomic<std::size_t> queries_run{0};
+  std::atomic<bool> done{false};
+  std::size_t mutations = 0;
+
+  std::thread writer([&] {
+    Rng rng(flags.seed ^ 0xBADBEEF);
+    while (!done.load(std::memory_order_acquire)) {
+      // Throttle to ~mutate_rate mutations per executed query.
+      const double target =
+          mutate_rate *
+          static_cast<double>(queries_run.load(std::memory_order_acquire));
+      if (static_cast<double>(mutations) >= target) {
+        std::this_thread::yield();
+        continue;
+      }
+      const ObjectId victim = leaves[rng.NextBounded(leaves.size())];
+      const double p = 0.05 + 0.9 * rng.NextDouble();
+      Vpf vpf;
+      vpf.Set(Value("v0"), p);
+      vpf.Set(Value("v1"), 1.0 - p);
+      QueryEngine::MutationGuard guard = engine.BeginMutations();
+      Status st = guard.UpdateVpf(victim, std::move(vpf));
+      BenchCheck(st, "mutate");
+      ++mutations;
+    }
+  });
+
+  std::uint64_t age_sum = 0;
+  std::uint64_t answers_total = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    auto answers = engine.Run(queries, nullptr, obs.session());
+    BenchCheck(answers.status(), "run");
+    const std::uint64_t head = engine.head_epoch();
+    for (const BatchAnswer& ans : *answers) {
+      BenchCheck(ans.status, "answer");  // snapshot reads never go stale
+      age_sum += head - ans.profile.epoch;
+      ++answers_total;
+    }
+    queries_run.fetch_add(queries.size(), std::memory_order_acq_rel);
+  }
+  const double wall_s = MsSince(t0) / 1e3;
+  done.store(true, std::memory_order_release);
+  writer.join();
+
+  const double total_queries =
+      static_cast<double>(kBatches) * static_cast<double>(queries.size());
+  const double mean_age =
+      answers_total == 0
+          ? 0.0
+          : static_cast<double>(age_sum) / static_cast<double>(answers_total);
+  std::printf(
+      "# mixed workload: rate=%.3f mutations/query, %zu threads\n"
+      "%10s %10s %12s %10s %12s\n",
+      mutate_rate, engine.threads(), "wall_s", "read_qps", "mutations",
+      "epochs", "mean_age");
+  std::printf("%10.3f %10.1f %12zu %10llu %12.3f\n", wall_s,
+              total_queries / wall_s, mutations,
+              static_cast<unsigned long long>(engine.head_epoch()), mean_age);
+
+  JsonLog json("batch_queries_mixed", flags);
+  json.NextRow();
+  json.Int("threads", engine.threads());
+  json.Num("mutate_rate", mutate_rate);
+  json.Num("wall_s", wall_s);
+  json.Num("read_qps", total_queries / wall_s);
+  json.Int("queries", static_cast<std::uint64_t>(total_queries));
+  json.Int("mutations", mutations);
+  json.Int("epochs_published", engine.head_epoch());
+  json.Num("mean_snapshot_age_epochs", mean_age);
+  json.Write();
+
+  obs.Finish();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   BenchFlags defaults;
   defaults.threads = std::thread::hardware_concurrency();
   defaults.seed = 20260806;
   const BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
+  double mutate_rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mutate-rate=", 14) == 0) {
+      mutate_rate = std::atof(argv[i] + 14);
+      if (mutate_rate <= 0.0 || mutate_rate > 1.0) {
+        std::fprintf(stderr, "ignoring malformed %s (want R in (0,1])\n",
+                     argv[i]);
+        mutate_rate = 0.0;
+      }
+    }
+  }
   ObsOutputs obs(flags);
   const std::size_t threads = flags.threads;
   const std::size_t kQueries = 400;
@@ -92,6 +214,7 @@ int Main(int argc, char** argv) {
   BenchCheck(inst.status(), "generate");
 
   std::vector<BatchQuery> queries = MakeBatch(*inst, kQueries);
+  if (mutate_rate > 0.0) return MixedMain(flags, mutate_rate, *inst, queries, obs);
   std::printf(
       "# batch query engine: %zu mixed queries over one instance "
       "(%zu objects, %zu OPF rows)\n",

@@ -8,10 +8,12 @@
 #
 # The sweep caps (--max-objects) keep a full run under a couple of
 # minutes on one CPU; raise them for paper-scale series. The assembled
-# BENCH_4.json embeds the fig7a series (generic explicit, and per-label
-# with frozen kernels), the fig7c series, and the frozen-kernel counter
+# BENCH_5.json embeds the fig7a series (generic explicit, and per-label
+# with frozen kernels), the fig7c series, the frozen-kernel counter
 # ablation (which now also gates the observability layer — registry
-# reconcile and tracing neutrality). bench_opf_representations writes
+# reconcile and tracing neutrality), and the MVCC mixed read/write
+# workload (bench_batch_queries --mutate-rate): snapshot-read throughput
+# under a concurrent writer, epochs published, and mean snapshot age. bench_opf_representations writes
 # google-benchmark JSON into OUT_DIR only (its output embeds machine
 # context, so it is uploaded as a CI artifact rather than checked in).
 # The fig7a run additionally exports a Chrome trace and a metrics
@@ -30,6 +32,7 @@ BENCH_BINARIES=(
   bench_fig7c_selection_total
   bench_frozen_kernels
   bench_opf_representations
+  bench_batch_queries
 )
 missing=0
 for bin in "${BENCH_BINARIES[@]}"; do
@@ -51,16 +54,19 @@ fi
 "$BUILD/bench/bench_fig7c_selection_total" --max-objects=5000 \
     --json="$OUT/fig7c.json"
 "$BUILD/bench/bench_frozen_kernels" --check --json="$OUT/frozen_kernels.json"
+"$BUILD/bench/bench_batch_queries" --threads=4 --mutate-rate=0.1 \
+    --json="$OUT/batch_mixed.json"
 "$BUILD/bench/bench_opf_representations" --json="$OUT/opf_representations.json" \
     --benchmark_min_time=0.01 >/dev/null
 
 {
-  printf '{"pr":4,"benches":{'
+  printf '{"pr":5,"benches":{'
   printf '"fig7a":';                  cat "$OUT/fig7a.json" | tr -d '\n'
   printf ',"fig7a_perlabel_frozen":'; cat "$OUT/fig7a_perlabel_frozen.json" | tr -d '\n'
   printf ',"fig7c":';                 cat "$OUT/fig7c.json" | tr -d '\n'
   printf ',"frozen_kernels":';        cat "$OUT/frozen_kernels.json" | tr -d '\n'
+  printf ',"batch_mixed":';           cat "$OUT/batch_mixed.json" | tr -d '\n'
   printf '}}\n'
-} > BENCH_4.json
+} > BENCH_5.json
 
-echo "wrote BENCH_4.json (+ per-bench JSON in $OUT)"
+echo "wrote BENCH_5.json (+ per-bench JSON in $OUT)"

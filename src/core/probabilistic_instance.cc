@@ -9,18 +9,14 @@ namespace pxml {
 ProbabilisticInstance::ProbabilisticInstance(
     const ProbabilisticInstance& other)
     : weak_(other.weak_),
+      // ℘ entries are immutable once installed, so the copy aliases them
+      // (copy-on-write: SetOpf/SetVpf replace the pointer, never the
+      // pointee). Only the pointer arrays and the weak structure copy.
+      opfs_(other.opfs_),
+      vpfs_(other.vpfs_),
       version_(other.version_),
       structure_version_(other.structure_version_),
-      subtree_change_(other.subtree_change_) {
-  opfs_.resize(other.opfs_.size());
-  for (std::size_t i = 0; i < other.opfs_.size(); ++i) {
-    if (other.opfs_[i]) opfs_[i] = other.opfs_[i]->Clone();
-  }
-  vpfs_.resize(other.vpfs_.size());
-  for (std::size_t i = 0; i < other.vpfs_.size(); ++i) {
-    if (other.vpfs_[i]) vpfs_[i] = std::make_unique<Vpf>(*other.vpfs_[i]);
-  }
-}
+      subtree_change_(other.subtree_change_) {}
 
 ProbabilisticInstance& ProbabilisticInstance::operator=(
     const ProbabilisticInstance& other) {
@@ -59,7 +55,7 @@ Status ProbabilisticInstance::SetOpf(ObjectId o, std::unique_ptr<Opf> opf) {
     return Status::InvalidArgument("OPF must not be null");
   }
   EnsureSize(o);
-  opfs_[o] = std::move(opf);
+  opfs_[o] = std::shared_ptr<const Opf>(std::move(opf));
   NoteLocalChange(o);
   return Status::Ok();
 }
@@ -69,7 +65,7 @@ Status ProbabilisticInstance::SetVpf(ObjectId o, Vpf vpf) {
     return Status::NotFound(StrCat("object id ", o, " not present"));
   }
   EnsureSize(o);
-  vpfs_[o] = std::make_unique<Vpf>(std::move(vpf));
+  vpfs_[o] = std::make_shared<const Vpf>(std::move(vpf));
   NoteLocalChange(o);
   return Status::Ok();
 }

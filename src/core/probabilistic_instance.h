@@ -17,8 +17,14 @@ namespace pxml {
 /// a weak instance plus a local interpretation ℘ assigning every non-leaf
 /// object an OPF over PC(o) and every leaf object a VPF over dom(tau(o)).
 ///
-/// Deep-copyable: copying clones every OPF (the benchmark's "copy the
-/// input instance" phase exercises exactly this).
+/// Copyable with a copy-on-write local interpretation: ℘ entries are
+/// immutable once installed (the Opf interface is fully const), so a
+/// copy shares them by reference and only the per-object pointer arrays
+/// and the weak structure are duplicated. SetOpf/SetVpf *replace* the
+/// shared pointer — they never mutate the pointee — so copies stay
+/// isolated. This is what makes a MutationGuard's private working copy
+/// (and the benchmark's "copy the input instance" phase) cheap on large
+/// interpretations.
 ///
 /// Versioning (for the ε-memo cache, DESIGN.md §8): every mutation that
 /// goes through this API bumps a monotone version counter, and each
@@ -92,8 +98,10 @@ class ProbabilisticInstance {
 
  private:
   WeakInstance weak_;
-  std::vector<std::unique_ptr<Opf>> opfs_;  // indexed by ObjectId
-  std::vector<std::unique_ptr<Vpf>> vpfs_;  // indexed by ObjectId
+  // ℘ storage, indexed by ObjectId. Entries are shared-immutable: copies
+  // of the instance alias them, and updates swap the pointer.
+  std::vector<std::shared_ptr<const Opf>> opfs_;
+  std::vector<std::shared_ptr<const Vpf>> vpfs_;
 
   std::uint64_t version_ = 0;
   std::uint64_t structure_version_ = 0;

@@ -40,12 +40,17 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// A last-writer-wins signed gauge (e.g. pool thread count, cache size).
-/// Same relaxed contract as Counter.
+/// A last-writer-wins signed gauge (e.g. pool thread count, cache size,
+/// live MVCC snapshots). Same relaxed contract as Counter.
 class Gauge {
  public:
   void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Up/down conveniences for gauges tracking a live population (paired
+  /// with an Increment at creation and a Decrement at destruction, the
+  /// gauge reads the population size).
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
   std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }

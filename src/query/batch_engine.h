@@ -21,9 +21,14 @@ namespace pxml {
 /// with precise invalidation; this wrapper stays for call sites that
 /// only ever run stateless batches over an instance they own.
 ///
-/// Thread-safety contract (unchanged): the engine only ever touches the
-/// instance through const methods; the instance must outlive the engine
-/// and must not be mutated while a batch runs.
+/// Thread-safety contract: the engine only ever touches the instance
+/// through const methods, and the instance must outlive the engine.
+/// Each Run() pins exactly one snapshot epoch for its whole batch (the
+/// underlying QueryEngine re-snapshots lazily if the borrowed instance's
+/// version counters moved between runs), so every answer in a batch is
+/// computed against one consistent instance state. Mutating the borrowed
+/// instance *while* a batch runs remains undefined behavior — borrowing
+/// mode snapshots by version check, not by copy.
 class BatchQueryEngine {
  public:
   explicit BatchQueryEngine(const ProbabilisticInstance& instance,

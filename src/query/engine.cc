@@ -23,7 +23,39 @@ double ProcessCpuSeconds() {
 }
 
 Status StaleStatus() {
-  return Status::Stale("a mutation is in progress on this engine");
+  return Status::Stale(
+      "a mutation is in progress on this engine (require_latest)");
+}
+
+// Epoch lifecycle metrics (cumulative across every engine in the
+// process). live_snapshots is the number of Epoch objects currently
+// alive — head epochs plus retired-but-still-pinned ones — so a steady
+// value across an epoch-churning workload is the observable reclamation
+// proof the leak tests assert on.
+obs::Counter& EpochsPublished() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.epochs_published");
+  return c;
+}
+obs::Counter& EpochsRetired() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.epochs_retired");
+  return c;
+}
+obs::Gauge& LiveSnapshots() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("pxml.engine.live_snapshots");
+  return g;
+}
+obs::Counter& ReaderPins() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.reader_pins");
+  return c;
+}
+obs::Histogram& SnapshotAge() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("pxml.engine.snapshot_age_epochs");
+  return h;
 }
 
 const char* KindName(BatchQuery::Kind kind) {
@@ -98,10 +130,29 @@ BatchQuery BatchQuery::AncestorProjection(PathExpression p) {
   return q;
 }
 
+struct QueryEngine::Epoch {
+  std::shared_ptr<const ProbabilisticInstance> instance;
+  std::shared_ptr<const FrozenInstance> frozen;  // null: generic dispatch
+  std::uint64_t id = 0;
+  /// The instance versions this epoch snapshot captured (borrowing mode
+  /// compares them against the live borrowed instance to detect external
+  /// mutation between runs).
+  std::uint64_t version = 0;
+  std::uint64_t structure_version = 0;
+
+  Epoch() { LiveSnapshots().Increment(); }
+  Epoch(const Epoch&) = delete;
+  Epoch& operator=(const Epoch&) = delete;
+  // Reclamation is refcount-driven: the last release — whichever of the
+  // head pointer or a pinning reader lets go last — lands here.
+  ~Epoch() {
+    LiveSnapshots().Decrement();
+    EpochsRetired().Increment();
+  }
+};
+
 QueryEngine::QueryEngine(ProbabilisticInstance instance, BatchOptions options)
-    : options_(options),
-      owned_(std::make_unique<ProbabilisticInstance>(std::move(instance))),
-      instance_(owned_.get()) {
+    : options_(options), owning_(true) {
   if (options_.threads == 0) {
     options_.threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -114,11 +165,22 @@ QueryEngine::QueryEngine(ProbabilisticInstance instance, BatchOptions options)
   if (options_.frozen) {
     scratch_pool_ = std::make_unique<EpsilonScratchPool>();
   }
+  auto inst =
+      std::make_shared<const ProbabilisticInstance>(std::move(instance));
+  auto epoch = std::make_shared<Epoch>();
+  epoch->frozen = BuildFrozen(*inst, nullptr);
+  epoch->id = 1;
+  epoch->version = inst->version();
+  epoch->structure_version = inst->structure_version();
+  epoch->instance = std::move(inst);
+  head_ = std::move(epoch);
+  head_epoch_.store(1, std::memory_order_release);
+  EpochsPublished().Increment();
 }
 
 QueryEngine::QueryEngine(const ProbabilisticInstance* instance,
                          BatchOptions options)
-    : options_(options), instance_(instance) {
+    : options_(options), owning_(false), borrowed_(instance) {
   if (options_.threads == 0) {
     options_.threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -131,9 +193,26 @@ QueryEngine::QueryEngine(const ProbabilisticInstance* instance,
   if (options_.frozen) {
     scratch_pool_ = std::make_unique<EpsilonScratchPool>();
   }
+  auto epoch = std::make_shared<Epoch>();
+  // Non-owning alias: the borrowed instance must outlive the engine.
+  epoch->instance = std::shared_ptr<const ProbabilisticInstance>(
+      std::shared_ptr<const ProbabilisticInstance>(), borrowed_);
+  epoch->frozen = BuildFrozen(*borrowed_, nullptr);
+  epoch->id = 1;
+  epoch->version = borrowed_->version();
+  epoch->structure_version = borrowed_->structure_version();
+  head_ = std::move(epoch);
+  head_epoch_.store(1, std::memory_order_release);
+  EpochsPublished().Increment();
 }
 
 QueryEngine::~QueryEngine() = default;
+
+const ProbabilisticInstance& QueryEngine::instance() const {
+  if (!owning_) return *borrowed_;
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return *head_->instance;
+}
 
 std::size_t QueryEngine::threads() const {
   return pool_ != nullptr ? pool_->num_threads() : 1;
@@ -147,32 +226,76 @@ std::size_t QueryEngine::cache_size() const {
   return cache_ != nullptr ? cache_->size() : 0;
 }
 
-std::shared_ptr<const FrozenInstance> QueryEngine::FrozenSnapshot() const {
+std::shared_ptr<const FrozenInstance> QueryEngine::BuildFrozen(
+    const ProbabilisticInstance& instance, const Epoch* prev) const {
   if (!options_.frozen || scratch_pool_ == nullptr) return nullptr;
-  std::lock_guard<std::mutex> lock(frozen_mu_);
-  if (frozen_snapshot_ != nullptr &&
-      frozen_snapshot_->InSyncWith(*instance_)) {
-    return frozen_snapshot_;
+  if (prev != nullptr && prev->frozen != nullptr &&
+      prev->frozen->frozen_structure_version() ==
+          instance.structure_version()) {
+    // ℘-only history since prev: carry the clean kernels forward and
+    // recompile only the dirty spine. Falls back to a full Freeze below
+    // if the incremental path declines.
+    Result<FrozenInstance> rf =
+        FrozenInstance::Refreeze(*prev->frozen, instance);
+    if (rf.ok()) {
+      return std::make_shared<const FrozenInstance>(
+          std::move(rf).ValueOrDie());
+    }
   }
-  const std::uint64_t version = instance_->version();
-  const std::uint64_t structure = instance_->structure_version();
-  if (version == freeze_failed_version_ &&
-      structure == freeze_failed_structure_) {
-    return nullptr;  // unfreezable at this version; don't re-attempt
+  Result<FrozenInstance> fz = FrozenInstance::Freeze(instance);
+  if (!fz.ok()) return nullptr;  // generic dispatch for this epoch
+  return std::make_shared<const FrozenInstance>(std::move(fz).ValueOrDie());
+}
+
+std::shared_ptr<const QueryEngine::Epoch> QueryEngine::PinSnapshot() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  if (!owning_ && (head_->version != borrowed_->version() ||
+                   head_->structure_version !=
+                       borrowed_->structure_version())) {
+    // The borrowed instance was mutated between runs (the borrowing
+    // contract forbids mutation *during* runs, so doing this lazily
+    // under the head mutex is race-free): re-snapshot it as a fresh
+    // epoch.
+    auto epoch = std::make_shared<Epoch>();
+    epoch->instance = std::shared_ptr<const ProbabilisticInstance>(
+        std::shared_ptr<const ProbabilisticInstance>(), borrowed_);
+    epoch->frozen = BuildFrozen(*borrowed_, head_.get());
+    epoch->id = head_->id + 1;
+    epoch->version = borrowed_->version();
+    epoch->structure_version = borrowed_->structure_version();
+    head_ = std::move(epoch);
+    head_epoch_.store(head_->id, std::memory_order_release);
+    EpochsPublished().Increment();
   }
-  Result<FrozenInstance> frozen = FrozenInstance::Freeze(*instance_);
-  if (!frozen.ok()) {
-    freeze_failed_version_ = version;
-    freeze_failed_structure_ = structure;
-    frozen_snapshot_ = nullptr;
-    return nullptr;
+  ReaderPins().Increment();
+  return head_;
+}
+
+void QueryEngine::Publish(std::shared_ptr<const ProbabilisticInstance> next) {
+  // Single writer (the caller holds writer_mu_), so head_ cannot move
+  // under us; compile the next frozen form outside the head mutex so
+  // readers keep pinning meanwhile.
+  std::shared_ptr<const Epoch> prev;
+  {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    prev = head_;
   }
-  frozen_snapshot_ = std::make_shared<const FrozenInstance>(
-      std::move(frozen).ValueOrDie());
-  return frozen_snapshot_;
+  auto epoch = std::make_shared<Epoch>();
+  epoch->frozen = BuildFrozen(*next, prev.get());
+  epoch->id = prev->id + 1;
+  epoch->version = next->version();
+  epoch->structure_version = next->structure_version();
+  epoch->instance = std::move(next);
+  {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    head_ = std::move(epoch);
+    head_epoch_.store(prev->id + 1, std::memory_order_release);
+  }
+  EpochsPublished().Increment();
 }
 
 BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
+                                const ProbabilisticInstance& instance,
                                 ProjectionStats* projection_stats,
                                 EpsilonStats* eps_stats,
                                 const FrozenInstance* frozen,
@@ -198,7 +321,7 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
   BatchAnswer answer;
   switch (query.kind) {
     case BatchQuery::Kind::kPoint: {
-      Result<double> p = PointQuery(*instance_, query.path, query.object,
+      Result<double> p = PointQuery(instance, query.path, query.object,
                                     parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
@@ -209,7 +332,7 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
     }
     case BatchQuery::Kind::kExists: {
       Result<double> p =
-          ExistsQuery(*instance_, query.path, parallel, query_hooks);
+          ExistsQuery(instance, query.path, parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
       } else {
@@ -218,7 +341,7 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
       break;
     }
     case BatchQuery::Kind::kValue: {
-      Result<double> p = ValueQuery(*instance_, query.path, query.value,
+      Result<double> p = ValueQuery(instance, query.path, query.value,
                                     parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
@@ -229,7 +352,7 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
     }
     case BatchQuery::Kind::kCondition: {
       Result<double> p = pxml::ConditionProbability(
-          *instance_, query.condition, parallel, query_hooks);
+          instance, query.condition, parallel, query_hooks);
       if (p.ok()) {
         answer.probability = *p;
       } else {
@@ -239,7 +362,7 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
     }
     case BatchQuery::Kind::kAncestorProject: {
       Result<ProbabilisticInstance> projected =
-          AncestorProject(*instance_, query.path, projection_stats, parallel,
+          AncestorProject(instance, query.path, projection_stats, parallel,
                           query_hooks.frozen, query_hooks.scratch, trace);
       if (projected.ok()) {
         answer.projection = std::move(projected).ValueOrDie();
@@ -316,10 +439,11 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
 
 Result<std::vector<BatchAnswer>> QueryEngine::Run(
     const std::vector<BatchQuery>& queries, BatchStats* stats,
-    obs::TraceSession* trace) const {
-  if (mutators_.load(std::memory_order_acquire) > 0) {
-    // Fail fast instead of blocking behind the writer (and instead of
-    // self-deadlocking when the guard's own thread queries).
+    obs::TraceSession* trace, RunOptions options) const {
+  if (options.require_latest &&
+      mutators_.load(std::memory_order_acquire) > 0) {
+    // Read-your-writes callers prefer failing fast over reading the
+    // previous epoch.
     std::vector<BatchAnswer> answers(queries.size());
     for (BatchAnswer& a : answers) a.status = StaleStatus();
     if (stats != nullptr) {
@@ -328,7 +452,6 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
     }
     return answers;
   }
-  std::shared_lock<std::shared_mutex> read_lock(mu_);
 
   obs::TraceSpan batch_span(trace, "batch");
   const auto wall0 = std::chrono::steady_clock::now();
@@ -339,10 +462,13 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
   // batches on one pool cannot smear each other's numbers.
   BatchMetrics pool_metrics;
 
-  // One snapshot for the whole batch (the shared lock pins the instance,
-  // so it cannot go stale mid-batch); the shared_ptr keeps it alive even
-  // if a later batch refreezes concurrently.
-  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  // One pinned epoch for the whole batch: the shared_ptr keeps the
+  // snapshot (instance + frozen form) alive however many mutation scopes
+  // commit meanwhile; every answer is computed against this one
+  // committed state.
+  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
+  const ProbabilisticInstance& pinned = *epoch->instance;
+  const FrozenInstance* frozen = epoch->frozen.get();
 
   std::vector<BatchAnswer> answers(queries.size());
   // Per-query stats slots, merged sequentially below: each query tallies
@@ -353,21 +479,25 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
 
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      answers[i] = RunOne(queries[i], &projection_stats[i], &eps_stats[i],
-                          frozen.get(), trace);
+      answers[i] = RunOne(queries[i], pinned, &projection_stats[i],
+                          &eps_stats[i], frozen, trace);
     }
   } else {
     ThreadPool::BatchMetricsScope metrics_scope(&pool_metrics);
     TaskGroup group(pool_.get());
     for (std::size_t i = 0; i < queries.size(); ++i) {
       group.Run([this, &queries, &answers, &projection_stats, &eps_stats,
-                 &frozen, trace, i] {
-        answers[i] = RunOne(queries[i], &projection_stats[i], &eps_stats[i],
-                            frozen.get(), trace);
+                 &pinned, frozen, trace, i] {
+        answers[i] = RunOne(queries[i], pinned, &projection_stats[i],
+                            &eps_stats[i], frozen, trace);
       });
     }
     group.Wait();
   }
+  for (BatchAnswer& a : answers) a.profile.epoch = epoch->id;
+  // How far behind the head this batch's answers are at completion
+  // (0 = no mutation committed while it ran).
+  SnapshotAge().Record(head_epoch() - epoch->id);
 
   {
     using obs::Registry;
@@ -436,91 +566,132 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
 }
 
 Result<double> QueryEngine::PointProbability(const PathExpression& path,
-                                             ObjectId object) const {
-  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
-  std::shared_lock<std::shared_mutex> read_lock(mu_);
+                                             ObjectId object,
+                                             RunOptions options) const {
+  if (options.require_latest &&
+      mutators_.load(std::memory_order_acquire) > 0) {
+    return StaleStatus();
+  }
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
   EpsilonHooks hooks = Hooks(nullptr);
   std::optional<EpsilonScratchPool::Lease> lease;
-  if (frozen != nullptr) {
+  if (epoch->frozen != nullptr) {
     lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = frozen.get();
+    hooks.frozen = epoch->frozen.get();
     hooks.scratch = lease->get();
   }
-  return PointQuery(*instance_, path, object, parallel, hooks);
+  return PointQuery(*epoch->instance, path, object, parallel, hooks);
 }
 
-Result<double> QueryEngine::ExistsProbability(
-    const PathExpression& path) const {
-  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
-  std::shared_lock<std::shared_mutex> read_lock(mu_);
+Result<double> QueryEngine::ExistsProbability(const PathExpression& path,
+                                              RunOptions options) const {
+  if (options.require_latest &&
+      mutators_.load(std::memory_order_acquire) > 0) {
+    return StaleStatus();
+  }
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
   EpsilonHooks hooks = Hooks(nullptr);
   std::optional<EpsilonScratchPool::Lease> lease;
-  if (frozen != nullptr) {
+  if (epoch->frozen != nullptr) {
     lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = frozen.get();
+    hooks.frozen = epoch->frozen.get();
     hooks.scratch = lease->get();
   }
-  return ExistsQuery(*instance_, path, parallel, hooks);
+  return ExistsQuery(*epoch->instance, path, parallel, hooks);
 }
 
 Result<double> QueryEngine::ValueProbability(const PathExpression& path,
-                                             const Value& value) const {
-  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
-  std::shared_lock<std::shared_mutex> read_lock(mu_);
+                                             const Value& value,
+                                             RunOptions options) const {
+  if (options.require_latest &&
+      mutators_.load(std::memory_order_acquire) > 0) {
+    return StaleStatus();
+  }
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
   EpsilonHooks hooks = Hooks(nullptr);
   std::optional<EpsilonScratchPool::Lease> lease;
-  if (frozen != nullptr) {
+  if (epoch->frozen != nullptr) {
     lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = frozen.get();
+    hooks.frozen = epoch->frozen.get();
     hooks.scratch = lease->get();
   }
-  return ValueQuery(*instance_, path, value, parallel, hooks);
+  return ValueQuery(*epoch->instance, path, value, parallel, hooks);
 }
 
-Result<double> QueryEngine::ConditionProbability(
-    const SelectionCondition& cond) const {
-  if (mutators_.load(std::memory_order_acquire) > 0) return StaleStatus();
-  std::shared_lock<std::shared_mutex> read_lock(mu_);
+Result<double> QueryEngine::ConditionProbability(const SelectionCondition& cond,
+                                                 RunOptions options) const {
+  if (options.require_latest &&
+      mutators_.load(std::memory_order_acquire) > 0) {
+    return StaleStatus();
+  }
   ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const FrozenInstance> frozen = FrozenSnapshot();
+  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
   EpsilonHooks hooks = Hooks(nullptr);
   std::optional<EpsilonScratchPool::Lease> lease;
-  if (frozen != nullptr) {
+  if (epoch->frozen != nullptr) {
     lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = frozen.get();
+    hooks.frozen = epoch->frozen.get();
     hooks.scratch = lease->get();
   }
-  return pxml::ConditionProbability(*instance_, cond, parallel, hooks);
+  return pxml::ConditionProbability(*epoch->instance, cond, parallel, hooks);
 }
 
 QueryEngine::MutationGuard::MutationGuard(QueryEngine* engine)
     : engine_(engine) {
-  // Raise the stale flag before contending for the lock: queries issued
-  // from now on fail fast instead of sneaking in ahead of the writer.
+  // Raise the in-progress flag before contending for the writer lock so
+  // require_latest queries issued from now on fail fast instead of
+  // sneaking in ahead of the writer. Plain readers are unaffected: they
+  // pin the committed head epoch and never block here.
   engine_->mutators_.fetch_add(1, std::memory_order_acq_rel);
-  lock_ = std::unique_lock<std::shared_mutex>(engine_->mu_);
+  writer_lock_ = std::unique_lock<std::mutex>(engine_->writer_mu_);
+  if (engine_->owning_) {
+    // Copy-on-write working copy of the committed head. The copy aliases
+    // every OPF/VPF (shared_ptr copies), so its cost is O(objects)
+    // pointer copies, not O(℘). Readers keep querying the head epoch
+    // untouched until ~MutationGuard publishes.
+    std::shared_ptr<const Epoch> head;
+    {
+      std::lock_guard<std::mutex> lock(engine_->head_mu_);
+      head = engine_->head_;
+    }
+    working_ = std::make_shared<ProbabilisticInstance>(*head->instance);
+    base_version_ = working_->version();
+  }
+  // Borrowing mode: working_ stays null and every mutation entry point
+  // reports FailedPrecondition, same as before MVCC.
 }
 
 QueryEngine::MutationGuard::MutationGuard(MutationGuard&& other) noexcept
-    : engine_(other.engine_), lock_(std::move(other.lock_)) {
+    : engine_(other.engine_),
+      writer_lock_(std::move(other.writer_lock_)),
+      working_(std::move(other.working_)),
+      base_version_(other.base_version_) {
   other.engine_ = nullptr;
 }
 
 QueryEngine::MutationGuard::~MutationGuard() {
   if (engine_ == nullptr) return;
-  lock_.unlock();
+  // Publish only if something actually changed: an abandoned guard (all
+  // mutations failed, or none attempted) retires silently and readers
+  // never see a new epoch.
+  if (working_ != nullptr && working_->version() != base_version_) {
+    engine_->Publish(std::move(working_));
+  }
+  working_.reset();
+  writer_lock_.unlock();
   engine_->mutators_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+ProbabilisticInstance* QueryEngine::MutationGuard::working() {
+  return working_.get();
 }
 
 Status QueryEngine::MutationGuard::UpdateOpf(ObjectId o,
                                              std::unique_ptr<Opf> opf) {
-  ProbabilisticInstance* target = engine_->mutable_instance();
+  ProbabilisticInstance* target = working();
   if (target == nullptr) {
     return Status::FailedPrecondition(
         "mutation on a query-only (borrowing) engine");
@@ -534,7 +705,7 @@ Status QueryEngine::MutationGuard::UpdateOpf(ObjectId o,
 }
 
 Status QueryEngine::MutationGuard::UpdateVpf(ObjectId o, Vpf vpf) {
-  ProbabilisticInstance* target = engine_->mutable_instance();
+  ProbabilisticInstance* target = working();
   if (target == nullptr) {
     return Status::FailedPrecondition(
         "mutation on a query-only (borrowing) engine");
@@ -549,7 +720,7 @@ Status QueryEngine::MutationGuard::UpdateVpf(ObjectId o, Vpf vpf) {
 
 Status QueryEngine::MutationGuard::ReplaceSubtree(
     ObjectId at, const ProbabilisticInstance& donor, ObjectId donor_root) {
-  ProbabilisticInstance* target = engine_->mutable_instance();
+  ProbabilisticInstance* target = working();
   if (target == nullptr) {
     return Status::FailedPrecondition(
         "mutation on a query-only (borrowing) engine");

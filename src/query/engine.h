@@ -7,7 +7,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -45,18 +44,30 @@ struct BatchOptions {
   bool cache = true;
   /// LRU bound on the ε-memo cache (entries).
   std::size_t cache_capacity = EpsilonMemoCache::kDefaultCapacity;
-  /// Frozen-kernel switch. With it on, the engine lazily compiles the
-  /// instance into a FrozenInstance snapshot (see query/frozen.h) and
-  /// runs ε/marginalization passes through the representation-specialized
-  /// kernels with pooled scratch arenas; any mutation invalidates the
-  /// snapshot through the instance version counters and the next query
-  /// refreezes transparently. Results are bit-identical to the generic
+  /// Frozen-kernel switch. With it on, every committed epoch carries a
+  /// FrozenInstance compiled form (see query/frozen.h) and
+  /// ε/marginalization passes run through the representation-specialized
+  /// kernels with pooled scratch arenas; a mutation scope's publish step
+  /// recompiles incrementally (FrozenInstance::Refreeze — only the dirty
+  /// spine) where the structure allows. Results are bit-identical to the generic
   /// interpreter for explicit/independent OPFs; per-label products use
   /// the factored recurrence and agree to ~1e-12 (DESIGN.md §9). The
   /// BatchQueryEngine wrapper forces this off to preserve its historical
   /// bit-exact behavior. Instances that cannot be frozen (non-tree, OPF
   /// rows naming non-children) silently use the generic path.
   bool frozen = true;
+};
+
+/// Per-call read options (DESIGN.md §7).
+struct RunOptions {
+  /// Snapshot isolation is the default: a query pins the most recently
+  /// *committed* epoch and succeeds even while a MutationGuard is open,
+  /// returning answers bit-identical to a serial run against that
+  /// committed state. Setting `require_latest` restores the historical
+  /// fail-fast contract instead: if any mutation scope is active the call
+  /// returns kStale immediately, so read-your-writes callers never
+  /// observe an epoch older than the writer they are coordinating with.
+  bool require_latest = false;
 };
 
 /// Per-batch counters, extending the per-projection phase breakdown with
@@ -185,6 +196,11 @@ struct QueryProfile {
   /// "structure" with their counters attached). obs::kNoSpan when the
   /// batch ran without tracing.
   std::uint32_t span = obs::kNoSpan;
+
+  /// The id of the committed epoch this query ran against (monotone; the
+  /// engine's first snapshot is epoch 1). Every answer of one batch
+  /// carries the same epoch — a batch pins exactly one snapshot.
+  std::uint64_t epoch = 0;
 };
 
 /// The answer to one BatchQuery. `status` is per-query: one failing query
@@ -214,18 +230,28 @@ struct BatchAnswer {
 ///    calls return FailedPrecondition. This is what the legacy
 ///    BatchQueryEngine wrapper uses.
 ///
-/// Concurrency contract: queries take a shared lock and mutations an
-/// exclusive lock on one engine-level rwlock. Queries never block on a
-/// mutation in progress — a query that observes an active mutation (or
-/// an open MutationGuard) fails fast with StatusCode::kStale, so callers
-/// can retry once the writer is done. Mutations block until in-flight
-/// queries drain.
+/// Concurrency contract (epoch-based snapshot isolation, DESIGN.md §7):
+/// the engine maintains a sequence of immutable committed *epochs*, each
+/// pairing a ProbabilisticInstance snapshot with its compiled
+/// FrozenInstance. A query pins the current head epoch (one shared_ptr
+/// copy under a short mutex) and runs entirely against it — it never
+/// blocks on a writer and never observes a half-applied update. A
+/// MutationGuard serializes against other writers only: it builds the
+/// next version on a private copy-on-write working copy, and its
+/// destructor compiles (incremental Refreeze where the structure allows)
+/// and atomically publishes the next epoch. In-flight readers keep their
+/// pinned epoch; retired epochs are reclaimed by refcount as the last
+/// reader unpins. kStale survives only behind RunOptions::require_latest
+/// (read-your-writes callers who prefer failing fast over reading the
+/// previous epoch).
 ///
 /// Determinism: with or without the cache, at any thread count, answers
 /// are bit-identical — cache hits return exactly the double a
 /// recomputation would produce, and every floating-point accumulation is
-/// sequential per object (see EpsilonPropagator). Only the counters in
-/// BatchStats are schedule-dependent.
+/// sequential per object (see EpsilonPropagator). A batch's answers are
+/// bit-identical to a serial replay against the committed prefix of the
+/// mutation log its epoch corresponds to (QueryProfile::epoch names it).
+/// Only the counters in BatchStats are schedule-dependent.
 class QueryEngine {
  public:
   /// Owning mode: the engine takes the instance (move it in) and exposes
@@ -244,21 +270,31 @@ class QueryEngine {
   /// Worker threads actually in use (1 = serial path, no pool).
   std::size_t threads() const;
 
-  /// The instance queries run against. In owning mode this reflects all
-  /// mutations applied so far.
-  const ProbabilisticInstance& instance() const { return *instance_; }
+  /// The most recently committed instance. In owning mode this reflects
+  /// every mutation scope that has *closed*; the reference is valid until
+  /// the next mutation commits (the epoch holding it may be reclaimed
+  /// after that), so don't cache it across writes. In borrowing mode it
+  /// is simply the borrowed instance.
+  const ProbabilisticInstance& instance() const;
 
-  bool owns_instance() const { return owned_ != nullptr; }
+  bool owns_instance() const { return owning_; }
+
+  /// The id of the current head epoch (starts at 1; each committed
+  /// mutation scope publishes the next). Lock-free.
+  std::uint64_t head_epoch() const {
+    return head_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Lifetime ε-memo cache counters (zeroes with the cache off).
   EpsilonMemoCache::Stats cache_stats() const;
   /// Current number of memoized ε entries.
   std::size_t cache_size() const;
 
-  /// Evaluates the whole batch; answers[i] corresponds to queries[i].
-  /// The returned status is only non-OK for engine-level failures;
-  /// per-query failures are reported in each BatchAnswer. If a mutation
-  /// is in progress every answer is kStale (see class comment).
+  /// Evaluates the whole batch against one pinned epoch; answers[i]
+  /// corresponds to queries[i]. The returned status is only non-OK for
+  /// engine-level failures; per-query failures are reported in each
+  /// BatchAnswer. With options.require_latest and a mutation scope open,
+  /// every answer is kStale (see RunOptions).
   ///
   /// A non-null `trace` records the batch as a span tree — one "batch"
   /// root, one "query:<kind>" span per query (linked from its
@@ -267,22 +303,33 @@ class QueryEngine {
   /// zero-cost disabled path; tracing never changes answers.
   Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
                                        BatchStats* stats = nullptr,
-                                       obs::TraceSession* trace = nullptr)
-      const;
+                                       obs::TraceSession* trace = nullptr,
+                                       RunOptions options = {}) const;
 
   /// Single-query conveniences: the Section-6.2 point queries evaluated
-  /// through the facade (shared lock, ε-memo cache, kStale on a racing
-  /// mutation). Prefer Run() for more than a couple of queries.
-  Result<double> PointProbability(const PathExpression& path,
-                                  ObjectId object) const;
-  Result<double> ExistsProbability(const PathExpression& path) const;
+  /// through the facade (pinned epoch, ε-memo cache; kStale only with
+  /// options.require_latest). Prefer Run() for more than a couple of
+  /// queries.
+  Result<double> PointProbability(const PathExpression& path, ObjectId object,
+                                  RunOptions options = {}) const;
+  Result<double> ExistsProbability(const PathExpression& path,
+                                   RunOptions options = {}) const;
   Result<double> ValueProbability(const PathExpression& path,
-                                  const Value& value) const;
-  Result<double> ConditionProbability(const SelectionCondition& cond) const;
+                                  const Value& value,
+                                  RunOptions options = {}) const;
+  Result<double> ConditionProbability(const SelectionCondition& cond,
+                                      RunOptions options = {}) const;
 
-  /// A scope holding the engine's exclusive mutation lock. While any
-  /// guard is open, queries fail with kStale instead of observing a
-  /// half-applied multi-object update. Move-only; unlocks on destruction.
+  /// A writer scope. Opening one serializes against other writers only —
+  /// readers keep pinning the last committed epoch throughout. Updates
+  /// apply to a private copy-on-write working copy of the committed
+  /// instance (cheap: ℘ entries are shared until replaced); the
+  /// destructor compiles and atomically publishes the next epoch iff any
+  /// update succeeded, so a scope that only failed (or did nothing)
+  /// publishes nothing. Queries issued while the guard is open — even
+  /// from the guard's own thread — succeed against the pre-mutation
+  /// epoch; only RunOptions::require_latest callers see kStale.
+  /// Move-only; publishes (and releases the writer lock) on destruction.
   class MutationGuard {
    public:
     MutationGuard(MutationGuard&& other) noexcept;
@@ -313,60 +360,91 @@ class QueryEngine {
     friend class QueryEngine;
     explicit MutationGuard(QueryEngine* engine);
 
+    /// The working copy, or null on a borrowing engine (mutations fail).
+    ProbabilisticInstance* working();
+
     QueryEngine* engine_ = nullptr;  // null after move-out
-    std::unique_lock<std::shared_mutex> lock_;
+    std::unique_lock<std::mutex> writer_lock_;
+    /// Private next version; published by ~MutationGuard iff dirty.
+    std::shared_ptr<ProbabilisticInstance> working_;
+    /// working_->version() at open — publish only if it moved.
+    std::uint64_t base_version_ = 0;
   };
 
-  /// Opens a mutation scope (blocks until in-flight queries drain).
-  /// Queries issued while the guard lives return kStale, so a batch can
-  /// never observe half of a multi-update.
+  /// Opens a mutation scope (blocks only behind other writers — readers
+  /// are never drained). The scope's updates become visible to new
+  /// readers atomically when the guard destructs.
   MutationGuard BeginMutations();
 
-  /// One-shot mutations: each takes and releases the exclusive lock.
+  /// One-shot mutations: each opens, applies, and publishes a one-update
+  /// scope.
   Status UpdateOpf(ObjectId o, std::unique_ptr<Opf> opf);
   Status UpdateVpf(ObjectId o, Vpf vpf);
   Status ReplaceSubtree(ObjectId at, const ProbabilisticInstance& donor,
                         ObjectId donor_root);
 
  private:
-  /// Runs one query: opens its "query:<kind>" span, leases scratch,
-  /// dispatches, and fills the answer's QueryProfile from the per-query
-  /// stats slots (`eps_stats` and `projection_stats` are this query's
-  /// private tallies; the caller merges them into the BatchStats).
+  /// One committed version: an immutable instance snapshot, its compiled
+  /// frozen form (null if freezing is off or failed), and the epoch id.
+  /// Defined in engine.cc; destruction (= reclamation, when the last
+  /// pinning reader and the head both let go) feeds the epochs-retired /
+  /// live-snapshots metrics.
+  struct Epoch;
+
+  /// Runs one query against the pinned epoch's instance: opens its
+  /// "query:<kind>" span, leases scratch, dispatches, and fills the
+  /// answer's QueryProfile from the per-query stats slots (`eps_stats`
+  /// and `projection_stats` are this query's private tallies; the caller
+  /// merges them into the BatchStats).
   BatchAnswer RunOne(const BatchQuery& query,
+                     const ProbabilisticInstance& instance,
                      ProjectionStats* projection_stats,
                      EpsilonStats* eps_stats, const FrozenInstance* frozen,
                      obs::TraceSession* trace) const;
-  /// Non-null iff the engine may mutate (owning mode).
-  ProbabilisticInstance* mutable_instance() { return owned_.get(); }
   EpsilonHooks Hooks(EpsilonStats* stats) const {
     return EpsilonHooks{cache_.get(), stats};
   }
-  /// The current frozen snapshot, refrozen lazily if a mutation outdated
-  /// it; null when freezing is off or the instance cannot be frozen (the
-  /// failure is remembered per version, so an unfreezable instance does
-  /// not pay a Freeze attempt per query). Caller must hold the shared
-  /// lock; the shared_ptr keeps the snapshot alive across a concurrent
-  /// refreeze.
-  std::shared_ptr<const FrozenInstance> FrozenSnapshot() const;
+
+  /// Pins the current head epoch (never null). In borrowing mode this
+  /// lazily re-snapshots when the borrowed instance's versions moved
+  /// since the head froze (external mutation between runs — the
+  /// borrowing contract forbids it *during* runs).
+  std::shared_ptr<const Epoch> PinSnapshot() const;
+
+  /// Compiles the frozen form for a new epoch: incremental Refreeze from
+  /// `prev` when the structure is unchanged, else a full Freeze; null
+  /// when freezing is off or the instance cannot be frozen.
+  std::shared_ptr<const FrozenInstance> BuildFrozen(
+      const ProbabilisticInstance& instance, const Epoch* prev) const;
+
+  /// Atomically publishes `next` as the new head epoch (owning mode;
+  /// called by ~MutationGuard with the writer lock held).
+  void Publish(std::shared_ptr<const ProbabilisticInstance> next);
 
   BatchOptions options_;
-  std::unique_ptr<ProbabilisticInstance> owned_;  // null in borrowing mode
-  const ProbabilisticInstance* instance_;         // never null
+  bool owning_ = false;
+  /// Borrowing mode only: the external instance head_ wraps (unowned).
+  const ProbabilisticInstance* borrowed_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;              // null when threads() == 1
   std::unique_ptr<EpsilonMemoCache> cache_;       // null when options.cache off
   std::unique_ptr<EpsilonScratchPool> scratch_pool_;  // null when frozen off
 
-  mutable std::mutex frozen_mu_;  // guards the three snapshot fields below
-  mutable std::shared_ptr<const FrozenInstance> frozen_snapshot_;
-  /// Versions at which the last Freeze attempt failed (~0 = none).
-  mutable std::uint64_t freeze_failed_version_ = ~0ull;
-  mutable std::uint64_t freeze_failed_structure_ = ~0ull;
+  /// The epoch table head. Readers copy it under the mutex (one
+  /// shared_ptr bump); the writer replaces it at publish. Old epochs live
+  /// on exactly as long as some reader still pins them.
+  mutable std::mutex head_mu_;
+  mutable std::shared_ptr<const Epoch> head_;
+  /// head_->id mirror for lock-free reads (snapshot-age accounting).
+  /// An unfreezable instance costs one failed Freeze attempt per
+  /// *epoch*, not per query: the epoch records its null frozen form
+  /// alongside the versions it captured, and nothing rebuilds it until
+  /// the versions move.
+  mutable std::atomic<std::uint64_t> head_epoch_{0};
 
-  /// Writer gate. Queries check `mutators_` first (fail fast with kStale,
-  /// and never self-deadlock when the guard's owner queries its own
-  /// engine), then hold `mu_` shared for the duration of the batch.
-  mutable std::shared_mutex mu_;
+  /// Serializes mutation scopes (writer-writer only; readers never touch
+  /// it).
+  std::mutex writer_mu_;
+  /// Open mutation scopes — the require_latest fail-fast signal.
   std::atomic<int> mutators_{0};
 };
 

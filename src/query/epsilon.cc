@@ -234,7 +234,13 @@ Result<double> EpsilonPropagator::RootEpsilonGeneric(
                                            std::memory_order_relaxed);
     }
     tally.bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
-    if (cache_ != nullptr) cache_->Insert(key, e, instance_.version());
+    if (cache_ != nullptr) {
+      // Stamp with the subtree's own change version (not the global
+      // instance version): the exact-match Lookup rule serves the entry
+      // to any reader — in any epoch — whose snapshot reports the same
+      // subtree-change version, i.e. the same subtree ℘ state.
+      cache_->Insert(key, e, instance_.SubtreeChangeVersion(o));
+    }
     return Status::Ok();
   };
 

@@ -63,7 +63,7 @@ EpsilonMemoCache::EpsilonMemoCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 std::optional<double> EpsilonMemoCache::Lookup(const Fingerprint& key,
-                                               std::uint64_t min_version) {
+                                               std::uint64_t expected_version) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -71,9 +71,11 @@ std::optional<double> EpsilonMemoCache::Lookup(const Fingerprint& key,
     CacheMisses().Increment();
     return std::nullopt;
   }
-  if (it->second.version < min_version) {
-    // Stale: a ℘ update touched this subtree after the entry was
-    // recorded. Leave it in place — the caller recomputes and Insert()
+  if (it->second.version != expected_version) {
+    // Version mismatch: a ℘ update touched this subtree between the
+    // entry's computation and the reader's snapshot (in either
+    // direction — the reader may be pinned to an older epoch than the
+    // entry). Leave it in place — the caller recomputes and Insert()
     // overwrites it with the fresh value.
     invalidated_.fetch_add(1, std::memory_order_relaxed);
     CacheInvalidated().Increment();

@@ -45,12 +45,17 @@ struct FingerprintHash {
 /// Entries map a fingerprint of (object id, path-suffix labels below the
 /// object's level, target-set-with-survival-eps restricted to the
 /// object's subtree) to the ε value the propagator computed for that
-/// object, stamped with the instance version at computation time. An
-/// entry is served only if no ℘ update has touched the object's subtree
-/// since the stamp (ProbabilisticInstance::SubtreeChangeVersion); stale
-/// entries read as misses and are overwritten in place by the fresh
-/// value. A structure_version change flushes everything — structural
-/// edits cannot be attributed to subtrees.
+/// object, stamped with the object's SubtreeChangeVersion at computation
+/// time. An entry is served only if the reader's instance reports the
+/// *same* SubtreeChangeVersion for that object: in the engine's linear
+/// mutation history, equal subtree-change versions mean no ℘ update
+/// touched the subtree between the two observations, so the subtree
+/// state is identical. Exact matching (rather than `entry >= min`) is
+/// what lets one cache be shared across MVCC epochs — a reader pinned to
+/// an old snapshot can never be served a value computed against newer ℘,
+/// and vice versa; mismatched entries read as misses and are overwritten
+/// in place by the fresh value. A structure_version change flushes
+/// everything — structural edits cannot be attributed to subtrees.
 ///
 /// Bounded: at most `capacity` entries, evicted least-recently-used so a
 /// long-running server's cache cannot grow without limit.
@@ -73,13 +78,15 @@ class EpsilonMemoCache {
 
   explicit EpsilonMemoCache(std::size_t capacity = kDefaultCapacity);
 
-  /// Serves the cached ε for `key` if present and computed at or after
-  /// `min_version` (the subtree's last ℘-change version). Refreshes LRU
-  /// recency on hit; counts a miss or an invalidation otherwise.
+  /// Serves the cached ε for `key` if present and stamped with exactly
+  /// `expected_version` (the reader's SubtreeChangeVersion for the keyed
+  /// object). Refreshes LRU recency on hit; counts a miss or an
+  /// invalidation otherwise.
   std::optional<double> Lookup(const Fingerprint& key,
-                               std::uint64_t min_version);
+                               std::uint64_t expected_version);
 
-  /// Records (or overwrites) the ε for `key`, computed at `version`.
+  /// Records (or overwrites) the ε for `key`, stamped with the keyed
+  /// object's SubtreeChangeVersion at computation time.
   void Insert(const Fingerprint& key, double eps, std::uint64_t version);
 
   /// Flushes everything if the instance's structure version moved since

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace pxml {
@@ -17,6 +18,17 @@ void ChargeGrowth(EpsilonScratch* scratch, const std::vector<T>& v,
   if (v.capacity() > cap_before) {
     scratch->bytes_grown += (v.capacity() - cap_before) * sizeof(T);
   }
+}
+
+obs::Counter& RefreezeReused() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.frozen.refreeze_reused");
+  return c;
+}
+obs::Counter& RefreezeRecompiled() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.frozen.refreeze_recompiled");
+  return c;
 }
 
 }  // namespace
@@ -99,98 +111,8 @@ Result<FrozenInstance> FrozenInstance::Freeze(
 
     Kernel k;
     if (st.ok()) {
-      const bool leaf = ls.begin == ls.end;
-      const Opf* opf = leaf ? nullptr : instance.GetOpf(o);
-      if (leaf) {
-        k.kind = FrozenOpfKind::kLeaf;
-      } else if (opf == nullptr) {
-        // Mirrors the generic interpreter: freezing succeeds, evaluating
-        // this object fails.
-        k.kind = FrozenOpfKind::kMissing;
-      } else if (const auto* ex = dynamic_cast<const ExplicitOpf*>(opf)) {
-        k.kind = FrozenOpfKind::kExplicit;
-        k.begin = static_cast<std::uint32_t>(fz.row_prob_.size());
-        for (const OpfEntry& row : ex->rows()) {
-          for (ObjectId c : row.child_set) {
-            if (c >= num_ids || pc_label[c] == 0) {
-              st = Status::FailedPrecondition(
-                  StrCat("cannot freeze: OPF row of '",
-                         weak.dict().ObjectName(o), "' mentions object ", c,
-                         " which is not a potential child"));
-              break;
-            }
-          }
-          if (!st.ok()) break;
-          fz.row_prob_.push_back(row.prob);
-          for (ObjectId c : row.child_set) fz.row_children_.push_back(c);
-          fz.row_child_begin_.push_back(
-              static_cast<std::uint32_t>(fz.row_children_.size()));
-        }
-        k.end = static_cast<std::uint32_t>(fz.row_prob_.size());
-      } else if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
-        k.kind = FrozenOpfKind::kIndependent;
-        k.begin = static_cast<std::uint32_t>(fz.ind_child_.size());
-        for (const auto& [c, p] : ind->children()) {
-          if (c >= num_ids || pc_label[c] == 0) {
-            st = Status::FailedPrecondition(
-                StrCat("cannot freeze: independent OPF of '",
-                       weak.dict().ObjectName(o), "' mentions object ", c,
-                       " which is not a potential child"));
-            break;
-          }
-          fz.ind_child_.push_back(c);
-          fz.ind_prob_.push_back(p);
-        }
-        k.end = static_cast<std::uint32_t>(fz.ind_child_.size());
-      } else if (const auto* pl =
-                     dynamic_cast<const PerLabelProductOpf*>(opf)) {
-        k.kind = FrozenOpfKind::kPerLabel;
-        k.begin = static_cast<std::uint32_t>(fz.factors_.size());
-        for (const auto& [fl, table] : pl->factor_views()) {
-          // The factored recurrence identifies the on-path factor by
-          // label, so factor universes must live under their own label's
-          // lch set and labels must be distinct.
-          for (std::size_t fi = k.begin; fi < fz.factors_.size(); ++fi) {
-            if (fz.factors_[fi].label == fl) {
-              st = Status::FailedPrecondition(
-                  StrCat("cannot freeze: per-label OPF of '",
-                         weak.dict().ObjectName(o),
-                         "' has two factors for label ", fl));
-            }
-          }
-          if (!st.ok()) break;
-          Factor f;
-          f.label = fl;
-          f.row_begin = static_cast<std::uint32_t>(fz.row_prob_.size());
-          f.mass = 0.0;
-          for (const OpfEntry& row : table->rows()) {
-            for (ObjectId c : row.child_set) {
-              if (c >= num_ids || pc_label[c] != fl + 1) {
-                st = Status::FailedPrecondition(StrCat(
-                    "cannot freeze: per-label OPF factor for label ", fl,
-                    " of '", weak.dict().ObjectName(o), "' mentions object ",
-                    c, " outside lch(o, ", fl, ")"));
-                break;
-              }
-            }
-            if (!st.ok()) break;
-            f.mass += row.prob;
-            fz.row_prob_.push_back(row.prob);
-            for (ObjectId c : row.child_set) fz.row_children_.push_back(c);
-            fz.row_child_begin_.push_back(
-                static_cast<std::uint32_t>(fz.row_children_.size()));
-          }
-          if (!st.ok()) break;
-          f.row_end = static_cast<std::uint32_t>(fz.row_prob_.size());
-          fz.factors_.push_back(f);
-        }
-        k.end = static_cast<std::uint32_t>(fz.factors_.size());
-      } else {
-        st = Status::FailedPrecondition(
-            StrCat("cannot freeze OPF representation '",
-                   opf->RepresentationName(), "' of '",
-                   weak.dict().ObjectName(o), "'"));
-      }
+      st = CompileKernel(fz, instance, o, /*leaf=*/ls.begin == ls.end,
+                         pc_label, k);
     }
 
     for (std::uint32_t i = child_begin; i < fz.child_ids_.size(); ++i) {
@@ -199,6 +121,227 @@ Result<FrozenInstance> FrozenInstance::Freeze(
     PXML_RETURN_IF_ERROR(st);
     fz.kernels_[o] = k;
   }
+  return fz;
+}
+
+Status FrozenInstance::CompileKernel(FrozenInstance& fz,
+                                     const ProbabilisticInstance& instance,
+                                     ObjectId o, bool leaf,
+                                     const std::vector<std::uint32_t>& pc_label,
+                                     Kernel& out) {
+  const WeakInstance& weak = instance.weak();
+  const std::size_t num_ids = pc_label.size();
+  const Opf* opf = leaf ? nullptr : instance.GetOpf(o);
+  Status st = Status::Ok();
+  Kernel k;
+  if (leaf) {
+    k.kind = FrozenOpfKind::kLeaf;
+  } else if (opf == nullptr) {
+    // Mirrors the generic interpreter: freezing succeeds, evaluating
+    // this object fails.
+    k.kind = FrozenOpfKind::kMissing;
+  } else if (const auto* ex = dynamic_cast<const ExplicitOpf*>(opf)) {
+    k.kind = FrozenOpfKind::kExplicit;
+    k.begin = static_cast<std::uint32_t>(fz.row_prob_.size());
+    for (const OpfEntry& row : ex->rows()) {
+      for (ObjectId c : row.child_set) {
+        if (c >= num_ids || pc_label[c] == 0) {
+          st = Status::FailedPrecondition(
+              StrCat("cannot freeze: OPF row of '",
+                     weak.dict().ObjectName(o), "' mentions object ", c,
+                     " which is not a potential child"));
+          break;
+        }
+      }
+      if (!st.ok()) break;
+      fz.row_prob_.push_back(row.prob);
+      for (ObjectId c : row.child_set) fz.row_children_.push_back(c);
+      fz.row_child_begin_.push_back(
+          static_cast<std::uint32_t>(fz.row_children_.size()));
+    }
+    k.end = static_cast<std::uint32_t>(fz.row_prob_.size());
+  } else if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
+    k.kind = FrozenOpfKind::kIndependent;
+    k.begin = static_cast<std::uint32_t>(fz.ind_child_.size());
+    for (const auto& [c, p] : ind->children()) {
+      if (c >= num_ids || pc_label[c] == 0) {
+        st = Status::FailedPrecondition(
+            StrCat("cannot freeze: independent OPF of '",
+                   weak.dict().ObjectName(o), "' mentions object ", c,
+                   " which is not a potential child"));
+        break;
+      }
+      fz.ind_child_.push_back(c);
+      fz.ind_prob_.push_back(p);
+    }
+    k.end = static_cast<std::uint32_t>(fz.ind_child_.size());
+  } else if (const auto* pl = dynamic_cast<const PerLabelProductOpf*>(opf)) {
+    k.kind = FrozenOpfKind::kPerLabel;
+    k.begin = static_cast<std::uint32_t>(fz.factors_.size());
+    for (const auto& [fl, table] : pl->factor_views()) {
+      // The factored recurrence identifies the on-path factor by
+      // label, so factor universes must live under their own label's
+      // lch set and labels must be distinct.
+      for (std::size_t fi = k.begin; fi < fz.factors_.size(); ++fi) {
+        if (fz.factors_[fi].label == fl) {
+          st = Status::FailedPrecondition(
+              StrCat("cannot freeze: per-label OPF of '",
+                     weak.dict().ObjectName(o),
+                     "' has two factors for label ", fl));
+        }
+      }
+      if (!st.ok()) break;
+      Factor f;
+      f.label = fl;
+      f.row_begin = static_cast<std::uint32_t>(fz.row_prob_.size());
+      f.mass = 0.0;
+      for (const OpfEntry& row : table->rows()) {
+        for (ObjectId c : row.child_set) {
+          if (c >= num_ids || pc_label[c] != fl + 1) {
+            st = Status::FailedPrecondition(StrCat(
+                "cannot freeze: per-label OPF factor for label ", fl,
+                " of '", weak.dict().ObjectName(o), "' mentions object ",
+                c, " outside lch(o, ", fl, ")"));
+            break;
+          }
+        }
+        if (!st.ok()) break;
+        f.mass += row.prob;
+        fz.row_prob_.push_back(row.prob);
+        for (ObjectId c : row.child_set) fz.row_children_.push_back(c);
+        fz.row_child_begin_.push_back(
+            static_cast<std::uint32_t>(fz.row_children_.size()));
+      }
+      if (!st.ok()) break;
+      f.row_end = static_cast<std::uint32_t>(fz.row_prob_.size());
+      fz.factors_.push_back(f);
+    }
+    k.end = static_cast<std::uint32_t>(fz.factors_.size());
+  } else {
+    st = Status::FailedPrecondition(
+        StrCat("cannot freeze OPF representation '",
+               opf->RepresentationName(), "' of '",
+               weak.dict().ObjectName(o), "'"));
+  }
+  out = k;
+  return st;
+}
+
+Result<FrozenInstance> FrozenInstance::Refreeze(
+    const FrozenInstance& prev, const ProbabilisticInstance& instance) {
+  if (instance.structure_version() != prev.structure_version_) {
+    return Status::FailedPrecondition(
+        "cannot refreeze: the weak structure changed since the previous "
+        "snapshot (full Freeze required)");
+  }
+
+  FrozenInstance fz;
+  fz.version_ = instance.version();
+  fz.structure_version_ = instance.structure_version();
+  fz.root_ = prev.root_;
+  // Structure unchanged ⟹ the CSR arrays and the topological order carry
+  // over verbatim.
+  fz.obj_labels_ = prev.obj_labels_;
+  fz.label_ranges_ = prev.label_ranges_;
+  fz.child_ids_ = prev.child_ids_;
+  fz.topo_order_ = prev.topo_order_;
+
+  const std::size_t num_ids = prev.kernels_.size();
+  fz.kernels_.resize(num_ids);
+  fz.row_child_begin_.push_back(0);
+  fz.row_prob_.reserve(prev.row_prob_.size());
+  fz.row_children_.reserve(prev.row_children_.size());
+  fz.ind_child_.reserve(prev.ind_child_.size());
+  fz.ind_prob_.reserve(prev.ind_prob_.size());
+  fz.factors_.reserve(prev.factors_.size());
+
+  // Copies prev's rows [begin, end) into fz, returning the new span.
+  auto copy_rows = [&](std::uint32_t begin,
+                       std::uint32_t end) -> std::pair<std::uint32_t,
+                                                       std::uint32_t> {
+    const std::uint32_t out_begin =
+        static_cast<std::uint32_t>(fz.row_prob_.size());
+    fz.row_prob_.insert(fz.row_prob_.end(), prev.row_prob_.begin() + begin,
+                        prev.row_prob_.begin() + end);
+    for (std::uint32_t r = begin; r < end; ++r) {
+      fz.row_children_.insert(fz.row_children_.end(),
+                              prev.row_children_.begin() +
+                                  prev.row_child_begin_[r],
+                              prev.row_children_.begin() +
+                                  prev.row_child_begin_[r + 1]);
+      fz.row_child_begin_.push_back(
+          static_cast<std::uint32_t>(fz.row_children_.size()));
+    }
+    return {out_begin, static_cast<std::uint32_t>(fz.row_prob_.size())};
+  };
+
+  std::vector<std::uint32_t> pc_label(num_ids, 0);
+  std::uint64_t reused = 0, recompiled = 0;
+  for (ObjectId o : fz.topo_order_) {
+    const Kernel& pk = prev.kernels_[o];
+    Kernel k;
+    if (instance.SubtreeChangeVersion(o) <= prev.version_) {
+      // Clean: no ℘ update touched this subtree since prev froze, so the
+      // object's own OPF is unchanged — bulk-copy the compiled form.
+      k.kind = pk.kind;
+      switch (pk.kind) {
+        case FrozenOpfKind::kLeaf:
+        case FrozenOpfKind::kMissing:
+          break;
+        case FrozenOpfKind::kExplicit: {
+          auto [b, e] = copy_rows(pk.begin, pk.end);
+          k.begin = b;
+          k.end = e;
+          break;
+        }
+        case FrozenOpfKind::kIndependent: {
+          k.begin = static_cast<std::uint32_t>(fz.ind_child_.size());
+          fz.ind_child_.insert(fz.ind_child_.end(),
+                               prev.ind_child_.begin() + pk.begin,
+                               prev.ind_child_.begin() + pk.end);
+          fz.ind_prob_.insert(fz.ind_prob_.end(),
+                              prev.ind_prob_.begin() + pk.begin,
+                              prev.ind_prob_.begin() + pk.end);
+          k.end = static_cast<std::uint32_t>(fz.ind_child_.size());
+          break;
+        }
+        case FrozenOpfKind::kPerLabel: {
+          k.begin = static_cast<std::uint32_t>(fz.factors_.size());
+          for (std::uint32_t fi = pk.begin; fi < pk.end; ++fi) {
+            Factor f = prev.factors_[fi];
+            auto [b, e] = copy_rows(f.row_begin, f.row_end);
+            f.row_begin = b;
+            f.row_end = e;
+            fz.factors_.push_back(f);
+          }
+          k.end = static_cast<std::uint32_t>(fz.factors_.size());
+          break;
+        }
+      }
+      ++reused;
+    } else {
+      // Dirty spine: recompile from the live OPF, with the verification
+      // oracle rebuilt from the (unchanged) frozen structure.
+      bool leaf = true;
+      for (const LabelRange& r : prev.labels_of(o)) {
+        leaf = false;
+        for (std::uint32_t i = r.begin; i < r.end; ++i) {
+          pc_label[prev.child_ids_[i]] = r.label + 1;
+        }
+      }
+      Status st = CompileKernel(fz, instance, o, leaf, pc_label, k);
+      for (const LabelRange& r : prev.labels_of(o)) {
+        for (std::uint32_t i = r.begin; i < r.end; ++i) {
+          pc_label[prev.child_ids_[i]] = 0;
+        }
+      }
+      PXML_RETURN_IF_ERROR(st);
+      ++recompiled;
+    }
+    fz.kernels_[o] = k;
+  }
+  RefreezeReused().Add(reused);
+  RefreezeRecompiled().Add(recompiled);
   return fz;
 }
 
@@ -432,7 +575,12 @@ Result<double> FrozenRootEpsilonImpl(const FrozenInstance& frozen,
     s->eps[o] = e;
     tally.recomputed.fetch_add(1, std::memory_order_relaxed);
     tally.opf_row_ops.fetch_add(ops, std::memory_order_relaxed);
-    if (cache != nullptr) cache->Insert(key, e, instance.version());
+    if (cache != nullptr) {
+      // Same stamp the generic interpreter writes (epsilon.cc): the
+      // subtree's change version, so exact-match Lookup keeps entries
+      // interchangeable between dispatch paths and across MVCC epochs.
+      cache->Insert(key, e, instance.SubtreeChangeVersion(o));
+    }
     return Status::Ok();
   };
 

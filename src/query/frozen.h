@@ -145,8 +145,9 @@ class EpsilonScratchPool {
 /// structure_version(); InSyncWith() is true exactly while no mutation
 /// has gone through the instance API since. Consumers must check
 /// InSyncWith before trusting the snapshot and fall back to the generic
-/// interpreter (or refreeze) when it fails — QueryEngine refreezes
-/// transparently, preserving the ε-memo cache's kStale semantics.
+/// interpreter (or refreeze) when it fails — QueryEngine pairs each
+/// published epoch's instance with its frozen form, using Refreeze to
+/// carry the clean kernels forward across ℘-only mutations.
 ///
 /// Determinism: the explicit and independent kernels replay the generic
 /// interpreter's exact per-object accumulation order, so their ε values
@@ -189,6 +190,21 @@ class FrozenInstance {
   /// route for DAGs). Missing OPFs freeze as kMissing and only fail if a
   /// query actually evaluates them, mirroring the generic path.
   static Result<FrozenInstance> Freeze(const ProbabilisticInstance& instance);
+
+  /// Incrementally compiles a snapshot of `instance` from a previous
+  /// snapshot with the *same weak structure* (kFailedPrecondition if
+  /// `instance.structure_version()` moved since `prev` froze — callers
+  /// fall back to a full Freeze). The CSR structure arrays are copied
+  /// wholesale; an object's kernel is recompiled only if a ℘ update
+  /// touched its subtree after `prev` froze
+  /// (SubtreeChangeVersion(o) > prev.frozen_version() — the dirty spine,
+  /// O(depth) objects for a single-OPF update), and every clean kernel's
+  /// row data is bulk-copied with offset fixups. Since the topo order and
+  /// the per-object compilation are unchanged, the result is
+  /// bit-identical to a full Freeze of `instance`. Reuse/recompile counts
+  /// land on pxml.frozen.refreeze_{reused,recompiled}.
+  static Result<FrozenInstance> Refreeze(const FrozenInstance& prev,
+                                         const ProbabilisticInstance& instance);
 
   /// The instance versions captured at freeze time.
   std::uint64_t frozen_version() const { return version_; }
@@ -260,6 +276,16 @@ class FrozenInstance {
   };
 
   FrozenInstance() = default;
+
+  /// Compiles ℘(o) into a kernel appended to fz's row/ind/factor arrays.
+  /// `pc_label[c]` must be l + 1 for every declared potential child c of
+  /// o under label l (the row-verification oracle), 0 for everything
+  /// else; `leaf` says o has no lch entries.
+  static Status CompileKernel(FrozenInstance& fz,
+                              const ProbabilisticInstance& instance,
+                              ObjectId o, bool leaf,
+                              const std::vector<std::uint32_t>& pc_label,
+                              Kernel& out);
 
   std::vector<Span> obj_labels_;  // per object, into label_ranges_
   std::vector<LabelRange> label_ranges_;

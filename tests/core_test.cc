@@ -182,13 +182,23 @@ TEST(PotentialChildrenTest, LeafHasSingletonEmptyPC) {
 
 // --------------------------------------------------------------- Instance
 
-TEST(ProbabilisticInstanceTest, DeepCopyClonesOpfs) {
+TEST(ProbabilisticInstanceTest, CopyIsCopyOnWriteOverLocalInterpretation) {
   ProbabilisticInstance a = MakeBibliographicInstance();
   ProbabilisticInstance b = a;
   ObjectId r = a.weak().root();
+  // The copy aliases every OPF/VPF (cheap snapshot for MVCC publishing)…
+  EXPECT_EQ(a.GetOpf(r), b.GetOpf(r));
+  EXPECT_EQ(a.TotalOpfEntries(), b.TotalOpfEntries());
+  // …but replacing a function on the copy never reaches back into the
+  // original: SetOpf swaps the shared pointer, it does not mutate the
+  // shared immutable object.
+  const Opf* original_root_opf = a.GetOpf(r);
+  auto replacement = std::make_unique<ExplicitOpf>(
+      dynamic_cast<const ExplicitOpf&>(*b.GetOpf(r)));
+  ASSERT_TRUE(b.SetOpf(r, std::move(replacement)).ok());
+  EXPECT_EQ(a.GetOpf(r), original_root_opf);
   EXPECT_NE(a.GetOpf(r), b.GetOpf(r));
   EXPECT_EQ(a.GetOpf(r)->NumEntries(), b.GetOpf(r)->NumEntries());
-  EXPECT_EQ(a.TotalOpfEntries(), b.TotalOpfEntries());
 }
 
 TEST(ProbabilisticInstanceTest, TotalOpfEntriesCounts) {

@@ -463,34 +463,57 @@ TEST(QueryEngineTest, RandomizedInterleavingsMatchUncachedAndWorldsOracle) {
 }
 
 // ---------------------------------------------------------------------------
-// kStale and the mutation lock
+// Snapshot isolation and require_latest
 
-TEST(QueryEngineTest, QueriesDuringMutationScopeFailWithStale) {
+TEST(QueryEngineTest, QueriesDuringMutationScopeReadTheCommittedEpoch) {
   const ProbabilisticInstance inst = MakeUniformTree(3, 2, 0x11);
   QueryEngine engine(inst, BatchOptions{.threads = 2});
   const PathExpression path = FullDepthPath(inst, 3);
 
+  auto before = engine.ExistsProbability(path);
+  ASSERT_TRUE(before.ok()) << before.status();
+
   {
     QueryEngine::MutationGuard guard = engine.BeginMutations();
+    // Mutate first so the working copy definitely diverges from the
+    // committed epoch the readers are about to pin.
+    Rng rng(0xD4);
+    const ObjectId root = inst.weak().root();
+    ASSERT_TRUE(guard.UpdateOpf(root, RandomOpfFor(inst, root, rng)).ok());
+
+    // Snapshot isolation: the open guard does not block readers, and the
+    // answer is bit-identical to the pre-mutation serial answer.
     auto batch = engine.Run({BatchQuery::Exists(path)});
     ASSERT_TRUE(batch.ok());
-    EXPECT_EQ((*batch)[0].status.code(), StatusCode::kStale);
+    ASSERT_TRUE((*batch)[0].status.ok()) << (*batch)[0].status;
+    ExpectBitEqual((*batch)[0].probability, *before, "during-guard batch");
+    EXPECT_EQ((*batch)[0].profile.epoch, 1u);
     auto single = engine.ExistsProbability(path);
-    ASSERT_FALSE(single.ok());
-    EXPECT_EQ(single.status().code(), StatusCode::kStale);
+    ASSERT_TRUE(single.ok()) << single.status();
+    ExpectBitEqual(*single, *before, "during-guard convenience");
 
-    // The guard itself can mutate (and the update lands atomically with
-    // any sibling updates in the same scope).
-    Rng rng(0xD4);
-    const ObjectId root = engine.instance().weak().root();
-    EXPECT_TRUE(
-        guard.UpdateOpf(root, RandomOpfFor(engine.instance(), root, rng))
-            .ok());
+    // require_latest restores the fail-fast contract for readers that
+    // must not serve a superseded snapshot.
+    RunOptions latest;
+    latest.require_latest = true;
+    auto strict_batch =
+        engine.Run({BatchQuery::Exists(path)}, nullptr, nullptr, latest);
+    ASSERT_TRUE(strict_batch.ok());
+    EXPECT_EQ((*strict_batch)[0].status.code(), StatusCode::kStale);
+    auto strict = engine.ExistsProbability(path, latest);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kStale);
   }
 
-  // Guard released: queries flow again.
-  auto after = engine.ExistsProbability(path);
-  ASSERT_TRUE(after.ok()) << after.status();
+  // Guard committed: the next reader pins the new epoch.
+  auto after = engine.Run({BatchQuery::Exists(path)});
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE((*after)[0].status.ok()) << (*after)[0].status;
+  EXPECT_EQ((*after)[0].profile.epoch, 2u);
+  RunOptions latest;
+  latest.require_latest = true;
+  auto strict_after = engine.ExistsProbability(path, latest);
+  ASSERT_TRUE(strict_after.ok()) << strict_after.status();
 }
 
 TEST(QueryEngineTest, ConcurrentMutateAndQueryHammer) {

@@ -370,7 +370,7 @@ TEST(FrozenKernelTest, EngineRefreezesTransparentlyAfterMutation) {
   EXPECT_NE(*generic2, *generic);  // the mutation actually changed P
 }
 
-TEST(FrozenKernelTest, OpenMutationGuardYieldsStaleNotStaleAnswers) {
+TEST(FrozenKernelTest, OpenMutationGuardStillServesSnapshotReads) {
   auto generated = Generate(OpfStyle::kIndependent, 2, 2, 17);
   ASSERT_TRUE(generated.ok()) << generated.status();
   QueryEngine engine(std::move(*generated));
@@ -378,11 +378,23 @@ TEST(FrozenKernelTest, OpenMutationGuardYieldsStaleNotStaleAnswers) {
   auto path = GenerateAcceptedPath(engine.instance(), rng);
   ASSERT_TRUE(path.ok()) << path.status();
 
+  auto before = engine.ExistsProbability(*path);
+  ASSERT_TRUE(before.ok()) << before.status();
+
   {
     QueryEngine::MutationGuard guard = engine.BeginMutations();
+    // Snapshot isolation: the open guard no longer blocks readers — the
+    // query pins the committed epoch and answers bit-identically to the
+    // pre-guard read.
     auto during = engine.ExistsProbability(*path);
-    ASSERT_FALSE(during.ok());
-    EXPECT_EQ(during.status().code(), StatusCode::kStale);
+    ASSERT_TRUE(during.ok()) << during.status();
+    EXPECT_EQ(*during, *before);
+    // The fail-fast contract survives behind require_latest.
+    RunOptions latest;
+    latest.require_latest = true;
+    auto strict = engine.ExistsProbability(*path, latest);
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kStale);
   }
   auto after = engine.ExistsProbability(*path);
   ASSERT_TRUE(after.ok()) << after.status();

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage into a per-directory markdown report.
+
+Stdlib-only (no gcovr/lcov in the CI image): walks a --coverage build
+tree for .gcda counter files, asks plain `gcov --json-format --stdout`
+for per-line execution counts, merges counts across translation units
+(a header's line is covered if ANY includer executed it), and prints a
+markdown table of line coverage per top-level source directory plus a
+per-file breakdown for the directories named with --detail.
+
+Usage:
+  tools/coverage_report.py BUILD_DIR [--repo-root DIR] [--gcov BIN]
+      [--detail src/query] [--fail-under PCT --scope src/query]
+
+--fail-under exits non-zero when the --scope directory's line coverage
+falls below PCT — the CI baseline gate for the query engine.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_records(gcda, gcov_bin):
+    """Yields gcov JSON file records ({file, lines}) for one .gcda."""
+    proc = subprocess.run(
+        [gcov_bin, "--json-format", "--stdout", gcda],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    )
+    if proc.returncode != 0 or not proc.stdout:
+        return
+    # One JSON document per line of output (gcov emits one per gcda).
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        yield from doc.get("files", [])
+
+
+def normalize(path, cwd, repo_root):
+    """Repo-relative source path, or None for out-of-tree files."""
+    if not os.path.isabs(path):
+        path = os.path.join(cwd, path)
+    path = os.path.realpath(path)
+    root = os.path.realpath(repo_root) + os.sep
+    if not path.startswith(root):
+        return None
+    rel = path[len(root):]
+    if rel.startswith("build"):  # generated/third-party inside build dirs
+        return None
+    return rel
+
+
+def collect(build_dir, repo_root, gcov_bin):
+    """{source: {line: max_count}} merged across every translation unit."""
+    hits = collections.defaultdict(dict)
+    for gcda in find_gcda(build_dir):
+        cwd = os.path.dirname(gcda)
+        for record in gcov_records(gcda, gcov_bin):
+            rel = normalize(record.get("file", ""), cwd, repo_root)
+            if rel is None:
+                continue
+            per_file = hits[rel]
+            for entry in record.get("lines", []):
+                line = entry.get("line_number")
+                count = entry.get("count", 0)
+                if line is None:
+                    continue
+                per_file[line] = max(per_file.get(line, 0), count)
+    return hits
+
+
+def group_key(rel_path):
+    """src/query/engine.cc -> src/query; root-level files -> '.'."""
+    return os.path.dirname(rel_path) or "."
+
+
+def pct(covered, total):
+    return 100.0 * covered / total if total else 0.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir")
+    parser.add_argument("--repo-root", default=os.getcwd())
+    parser.add_argument("--gcov", default="gcov")
+    parser.add_argument("--detail", action="append", default=[],
+                        help="directory to expand per-file (repeatable)")
+    parser.add_argument("--fail-under", type=float, default=None,
+                        help="minimum line coverage %% for --scope")
+    parser.add_argument("--scope", default="src/query",
+                        help="directory gated by --fail-under")
+    args = parser.parse_args()
+
+    hits = collect(args.build_dir, args.repo_root, args.gcov)
+    if not hits:
+        print("coverage_report: no .gcda data found under "
+              f"{args.build_dir} (build with -DPXML_COVERAGE=ON and run "
+              "the tests first)", file=sys.stderr)
+        return 2
+
+    per_file = {
+        rel: (sum(1 for c in lines.values() if c > 0), len(lines))
+        for rel, lines in hits.items()
+    }
+    per_dir = collections.defaultdict(lambda: [0, 0])
+    for rel, (covered, total) in per_file.items():
+        acc = per_dir[group_key(rel)]
+        acc[0] += covered
+        acc[1] += total
+
+    print("## Line coverage\n")
+    print("| directory | lines | covered | % |")
+    print("|---|---:|---:|---:|")
+    grand_covered = grand_total = 0
+    for directory in sorted(per_dir):
+        covered, total = per_dir[directory]
+        grand_covered += covered
+        grand_total += total
+        print(f"| {directory} | {total} | {covered} | "
+              f"{pct(covered, total):.1f} |")
+    print(f"| **total** | {grand_total} | {grand_covered} | "
+          f"**{pct(grand_covered, grand_total):.1f}** |")
+
+    for directory in args.detail:
+        print(f"\n### {directory}\n")
+        print("| file | lines | covered | % |")
+        print("|---|---:|---:|---:|")
+        for rel in sorted(per_file):
+            if group_key(rel) != directory and not rel.startswith(
+                    directory + os.sep):
+                continue
+            covered, total = per_file[rel]
+            print(f"| {rel} | {total} | {covered} | "
+                  f"{pct(covered, total):.1f} |")
+
+    if args.fail_under is not None:
+        covered, total = per_dir.get(args.scope, (0, 0))
+        scope_pct = pct(covered, total)
+        print(f"\ncoverage gate: {args.scope} at {scope_pct:.1f}% "
+              f"(floor {args.fail_under:.1f}%)", file=sys.stderr)
+        if scope_pct < args.fail_under:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
