@@ -8,6 +8,7 @@
 //
 // Usage: bench_batch_queries [--threads=N] [--seed=S] [--trace=PATH]
 //        [--metrics=PATH] [--json=PATH] [--mutate-rate=R]
+//        [--deadline-ms=MS] [--request=KEY=VALUE] [--overload]
 // --trace records the span tree of every batch (serial and parallel) as
 // Chrome trace-event JSON; --metrics snapshots the registry at exit.
 //
@@ -18,13 +19,37 @@
 // snapshot epoch (answers never fail with kStale), and the bench reports
 // read throughput, commit throughput, epochs published, and how far
 // behind the head the read snapshots ran.
+//
+// --deadline-ms=MS switches to the deadline mode (DESIGN.md §11): the
+// batch runs under a QueryRequest whose deadline is MS milliseconds out,
+// and the bench reports how many queries completed vs returned
+// kDeadlineExceeded — verifying that every completed answer is
+// bit-identical to an unconstrained run against the same epoch.
+// --request=KEY=VALUE forwards any QueryRequest knob verbatim to
+// ApplyRequestFlag ("row-op-budget=100000", "priority=-1", ...), so the
+// parser's error paths are exercisable from the command line; malformed
+// knobs warn and are ignored, exactly like the other bench flags.
+//
+// --overload switches to the admission-control mode: the engine is
+// configured with a small in-flight batch limit, several client threads
+// slam it with batches across the three priority classes, and the bench
+// reports how many batches were admitted vs shed per class.
+//
+// --overhead-gate is the ≤2% cancellation-overhead CI gate on the
+// undeadlined fig7a (ancestor projection) path: each round runs the same
+// projection batch unconstrained (null QueryControls) and under a
+// deadline an hour out (a live control charged at every site). Hard
+// properties: bit-identical answers and exactly equal row-op counts.
+// Wall ratio (min over rounds) must stay ≤ 1.02; exits non-zero
+// otherwise.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 
 #include "fig7_common.h"
-#include "query/batch_engine.h"
 #include "query/engine.h"
 #include "xml/writer.h"
 
@@ -58,6 +83,19 @@ std::vector<BatchQuery> MakeBatch(const ProbabilisticInstance& inst,
   return queries;
 }
 
+/// Bitwise answer equality: status code, probability bits, and the
+/// serialized projection when one is present.
+bool SameAnswer(const BatchAnswer& a, const BatchAnswer& b) {
+  bool same =
+      a.status.code() == b.status.code() &&
+      std::memcmp(&a.probability, &b.probability, sizeof(double)) == 0 &&
+      a.projection.has_value() == b.projection.has_value();
+  if (same && a.projection.has_value()) {
+    same = SerializePxml(*a.projection) == SerializePxml(*b.projection);
+  }
+  return same;
+}
+
 /// Answers must be bit-identical across engines (determinism by
 /// construction); abort loudly if they are not.
 void CheckIdentical(const std::vector<BatchAnswer>& serial,
@@ -67,17 +105,7 @@ void CheckIdentical(const std::vector<BatchAnswer>& serial,
     std::exit(1);
   }
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    bool same =
-        serial[i].status.code() == parallel[i].status.code() &&
-        std::memcmp(&serial[i].probability, &parallel[i].probability,
-                    sizeof(double)) == 0 &&
-        serial[i].projection.has_value() ==
-            parallel[i].projection.has_value();
-    if (same && serial[i].projection.has_value()) {
-      same = SerializePxml(*serial[i].projection) ==
-             SerializePxml(*parallel[i].projection);
-    }
-    if (!same) {
+    if (!SameAnswer(serial[i], parallel[i])) {
       std::fprintf(stderr, "query %zu: parallel answer differs\n", i);
       std::exit(1);
     }
@@ -184,12 +212,252 @@ int MixedMain(const BenchFlags& flags, double mutate_rate,
   return 0;
 }
 
+/// The deadline mode behind --deadline-ms / --request=: one
+/// unconstrained reference run, then the same batch under the request —
+/// completed answers must be bit-identical to the reference (both runs
+/// pin the same epoch; the instance is borrowed and never mutated).
+int DeadlineMain(const BenchFlags& flags,
+                 const std::vector<std::string>& knobs,
+                 const ProbabilisticInstance& inst,
+                 const std::vector<BatchQuery>& queries, ObsOutputs& obs) {
+  BatchOptions options;
+  options.threads = flags.threads;
+  options.cache = flags.cache;
+  options.frozen = flags.frozen;
+  QueryEngine engine(&inst, options);
+
+  auto reference = engine.Run(queries, QueryRequest{});
+  BenchCheck(reference.status(), "reference run");
+
+  // Re-apply the knobs now, not at flag-parse time: "deadline-ms=MS"
+  // resolves to an absolute steady_clock point at Apply time, and the
+  // countdown should not include workload generation.
+  QueryRequest request;
+  for (const std::string& knob : knobs) {
+    BenchCheck(ApplyRequestFlag(knob, &request), "request knob");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto answers = engine.Run(queries, request, nullptr, obs.session());
+  const double wall_s = MsSince(t0) / 1e3;
+  BenchCheck(answers.status(), "run");
+
+  std::size_t ok = 0, deadline = 0, budget = 0, other = 0;
+  for (std::size_t i = 0; i < answers->size(); ++i) {
+    const BatchAnswer& ans = (*answers)[i];
+    switch (ans.status.code()) {
+      case StatusCode::kOk:
+        ++ok;
+        if (!SameAnswer(ans, (*reference)[i])) {
+          std::fprintf(stderr,
+                       "query %zu: deadlined answer differs from the "
+                       "unconstrained reference\n",
+                       i);
+          return 1;
+        }
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++deadline;
+        break;
+      case StatusCode::kResourceExhausted:
+        ++budget;
+        break;
+      default:
+        ++other;
+        break;
+    }
+  }
+  std::printf(
+      "# deadline mode: %zu queries, %zu threads\n"
+      "%10s %8s %10s %8s %8s\n",
+      queries.size(), engine.threads(), "wall_s", "ok", "deadline", "budget",
+      "other");
+  std::printf("%10.3f %8zu %10zu %8zu %8zu\n", wall_s, ok, deadline, budget,
+              other);
+
+  JsonLog json("batch_queries_deadline", flags);
+  json.NextRow();
+  json.Int("threads", engine.threads());
+  json.Num("wall_s", wall_s);
+  json.Int("queries", queries.size());
+  json.Int("ok", ok);
+  json.Int("deadline_exceeded", deadline);
+  json.Int("budget_exhausted", budget);
+  json.Int("other", other);
+  json.Write();
+
+  obs.Finish();
+  return 0;
+}
+
+/// The admission-control mode behind --overload: a small in-flight limit
+/// plus several client threads per priority class. Best-effort (-1)
+/// clients shed at the limit; normal (0) and critical (+1) clients queue
+/// for a slot, so every one of their batches eventually completes.
+int OverloadMain(const BenchFlags& flags, const ProbabilisticInstance& inst,
+                 const std::vector<BatchQuery>& queries, ObsOutputs& obs) {
+  BatchOptions options;
+  options.threads = flags.threads;
+  options.cache = flags.cache;
+  options.frozen = flags.frozen;
+  options.max_in_flight_batches = 2;
+  QueryEngine engine(&inst, options);
+
+  constexpr int kClientsPerClass = 2;
+  constexpr int kBatchesPerClient = 4;
+  constexpr int kPriorities[] = {-1, 0, 1};
+  std::atomic<std::size_t> admitted[3] = {{0}, {0}, {0}};
+  std::atomic<std::size_t> shed[3] = {{0}, {0}, {0}};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int c = 0; c < kClientsPerClass; ++c) {
+      clients.emplace_back([&, cls] {
+        for (int b = 0; b < kBatchesPerClient; ++b) {
+          QueryRequest request;
+          request.priority = kPriorities[cls];
+          auto answers = engine.Run(queries, request);
+          BenchCheck(answers.status(), "run");
+          // A shed batch answers every query with the shed status; an
+          // admitted one never reports kRejected per query.
+          const bool was_shed =
+              !answers->empty() &&
+              (*answers)[0].status.code() == StatusCode::kRejected;
+          if (was_shed) {
+            shed[cls].fetch_add(1, std::memory_order_relaxed);
+          } else {
+            admitted[cls].fetch_add(1, std::memory_order_relaxed);
+            for (const BatchAnswer& ans : *answers) {
+              BenchCheck(ans.status, "admitted answer");
+            }
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s = MsSince(t0) / 1e3;
+
+  std::printf(
+      "# overload mode: max_in_flight=2, %d clients x %d batches per "
+      "priority class, %zu threads\n"
+      "%9s %9s %6s\n",
+      kClientsPerClass, kBatchesPerClient, engine.threads(), "priority",
+      "admitted", "shed");
+  JsonLog json("batch_queries_overload", flags);
+  for (int cls = 0; cls < 3; ++cls) {
+    std::printf("%9d %9zu %6zu\n", kPriorities[cls], admitted[cls].load(),
+                shed[cls].load());
+    json.NextRow();
+    json.Num("priority", kPriorities[cls]);
+    json.Int("admitted", admitted[cls].load());
+    json.Int("shed", shed[cls].load());
+    json.Num("wall_s", wall_s);
+  }
+  json.Write();
+
+  // Normal and critical clients queue rather than shed; only best-effort
+  // traffic may be turned away. Both invariants are load-independent.
+  if (shed[1].load() != 0 || shed[2].load() != 0) {
+    std::fprintf(stderr, "non-best-effort batch was shed\n");
+    return 1;
+  }
+  if (engine.in_flight_batches() != 0) {
+    std::fprintf(stderr, "in-flight count did not drain to 0\n");
+    return 1;
+  }
+  obs.Finish();
+  return 0;
+}
+
+/// The ≤2% cancellation-overhead gate behind --overhead-gate. The
+/// engine's undeadlined path must pass null QueryControls everywhere, so
+/// attaching a never-tripping control may change nothing but a bounded
+/// sliver of wall time.
+int OverheadGateMain(const BenchFlags& flags,
+                     const ProbabilisticInstance& inst, ObsOutputs& obs) {
+  BatchOptions options;
+  options.threads = flags.threads;
+  // Uncached so every round recomputes the same work — the row-op
+  // equality below would be vacuous against a warm memo cache.
+  options.cache = false;
+  options.frozen = flags.frozen;
+  QueryEngine engine(&inst, options);
+
+  // The fig7a operation through the engine: ancestor projections only.
+  Rng rng(0xF16A);
+  std::vector<BatchQuery> queries;
+  while (queries.size() < 24) {
+    auto path = GenerateAcceptedPath(inst, rng);
+    BenchCheck(path.status(), "path");
+    queries.push_back(BatchQuery::AncestorProjection(*path));
+  }
+
+  constexpr int kRounds = 5;
+  double off_min = 0.0, on_min = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    BatchStats off_stats;
+    auto off = engine.Run(queries, QueryRequest{}, &off_stats);
+    BenchCheck(off.status(), "uncontrolled run");
+    QueryRequest generous;
+    generous.ExpireAfter(std::chrono::hours(1));
+    BatchStats on_stats;
+    auto on = engine.Run(queries, generous, &on_stats);
+    BenchCheck(on.status(), "controlled run");
+
+    // Hard gates, independent of machine noise: a live control must not
+    // change what is computed, only watch it.
+    CheckIdentical(*off, *on);
+    if (off_stats.opf_row_ops != on_stats.opf_row_ops) {
+      std::fprintf(stderr,
+                   "overhead gate: row-op drift — %llu uncontrolled vs "
+                   "%llu controlled\n",
+                   static_cast<unsigned long long>(off_stats.opf_row_ops),
+                   static_cast<unsigned long long>(on_stats.opf_row_ops));
+      return 1;
+    }
+    off_min = round == 0 ? off_stats.wall_seconds
+                         : std::min(off_min, off_stats.wall_seconds);
+    on_min = round == 0 ? on_stats.wall_seconds
+                        : std::min(on_min, on_stats.wall_seconds);
+  }
+
+  const double ratio = on_min / off_min;
+  std::printf(
+      "# cancellation-overhead gate: %zu projections x %d rounds, "
+      "%zu threads\n"
+      "%12s %12s %8s\n%12.4f %12.4f %8.4f\n",
+      queries.size(), kRounds, engine.threads(), "off_wall_s", "on_wall_s",
+      "ratio", off_min, on_min, ratio);
+
+  JsonLog json("batch_queries_overhead_gate", flags);
+  json.NextRow();
+  json.Int("threads", engine.threads());
+  json.Num("uncontrolled_wall_s", off_min);
+  json.Num("controlled_wall_s", on_min);
+  json.Num("ratio", ratio);
+  json.Write();
+  obs.Finish();
+
+  if (ratio > 1.02) {
+    std::fprintf(stderr,
+                 "overhead gate: controlled/uncontrolled wall ratio %.4f "
+                 "exceeds 1.02\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   BenchFlags defaults;
   defaults.threads = std::thread::hardware_concurrency();
   defaults.seed = 20260806;
   const BenchFlags flags = ParseBenchFlags(&argc, argv, defaults);
   double mutate_rate = 0.0;
+  bool overload = false;
+  bool overhead_gate = false;
+  std::vector<std::string> request_knobs;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--mutate-rate=", 14) == 0) {
       mutate_rate = std::atof(argv[i] + 14);
@@ -197,6 +465,26 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "ignoring malformed %s (want R in (0,1])\n",
                      argv[i]);
         mutate_rate = 0.0;
+      }
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
+    } else if (std::strcmp(argv[i], "--overhead-gate") == 0) {
+      overhead_gate = true;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0 ||
+               std::strncmp(argv[i], "--request=", 10) == 0) {
+      // Both spellings funnel into ApplyRequestFlag — "--deadline-ms=50"
+      // is sugar for "--request=deadline-ms=50". Validate now against a
+      // throwaway request (malformed knobs warn and drop, like every
+      // other bench flag); the kept knobs are re-applied at run time so
+      // a deadline's countdown starts with the run.
+      const char* knob = argv[i] + (argv[i][2] == 'd' ? 2 : 10);
+      QueryRequest probe;
+      Status st = ApplyRequestFlag(knob, &probe);
+      if (!st.ok()) {
+        std::fprintf(stderr, "ignoring malformed %s (%s)\n", argv[i],
+                     st.ToString().c_str());
+      } else {
+        request_knobs.emplace_back(knob);
       }
     }
   }
@@ -215,6 +503,11 @@ int Main(int argc, char** argv) {
 
   std::vector<BatchQuery> queries = MakeBatch(*inst, kQueries);
   if (mutate_rate > 0.0) return MixedMain(flags, mutate_rate, *inst, queries, obs);
+  if (overload) return OverloadMain(flags, *inst, queries, obs);
+  if (overhead_gate) return OverheadGateMain(flags, *inst, obs);
+  if (!request_knobs.empty()) {
+    return DeadlineMain(flags, request_knobs, *inst, queries, obs);
+  }
   std::printf(
       "# batch query engine: %zu mixed queries over one instance "
       "(%zu objects, %zu OPF rows)\n",
@@ -226,8 +519,13 @@ int Main(int argc, char** argv) {
   std::vector<BatchAnswer> serial_answers;
   for (std::size_t t : {std::size_t{1}, threads}) {
     BatchOptions options;
+    // The historical comparison mode: stateless generic evaluation (no
+    // ε-memo cache, no frozen kernels), so the published serial-vs-
+    // parallel series stays comparable across versions.
     options.threads = t;
-    BatchQueryEngine engine(*inst, options);
+    options.cache = false;
+    options.frozen = false;
+    QueryEngine engine(&*inst, options);
     BatchStats stats;
     auto answers = engine.Run(queries, &stats, obs.session());
     BenchCheck(answers.status(), "run");

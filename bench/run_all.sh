@@ -8,12 +8,16 @@
 #
 # The sweep caps (--max-objects) keep a full run under a couple of
 # minutes on one CPU; raise them for paper-scale series. The assembled
-# BENCH_5.json embeds the fig7a series (generic explicit, and per-label
+# BENCH_6.json embeds the fig7a series (generic explicit, and per-label
 # with frozen kernels), the fig7c series, the frozen-kernel counter
 # ablation (which now also gates the observability layer — registry
-# reconcile and tracing neutrality), and the MVCC mixed read/write
-# workload (bench_batch_queries --mutate-rate): snapshot-read throughput
-# under a concurrent writer, epochs published, and mean snapshot age. bench_opf_representations writes
+# reconcile and tracing neutrality), the MVCC mixed read/write workload
+# (bench_batch_queries --mutate-rate): snapshot-read throughput under a
+# concurrent writer, epochs published, and mean snapshot age — and the
+# PR-6 serving-path rows: the deadline mode (--deadline-ms: completed-
+# vs-expired split, bit-identical against the unconstrained reference)
+# and the admission overload mode (--overload: admitted/shed per
+# priority class). bench_opf_representations writes
 # google-benchmark JSON into OUT_DIR only (its output embeds machine
 # context, so it is uploaded as a CI artifact rather than checked in).
 # The fig7a run additionally exports a Chrome trace and a metrics
@@ -56,17 +60,31 @@ fi
 "$BUILD/bench/bench_frozen_kernels" --check --json="$OUT/frozen_kernels.json"
 "$BUILD/bench/bench_batch_queries" --threads=4 --mutate-rate=0.1 \
     --json="$OUT/batch_mixed.json"
+# Deadline mode: generous budget-free deadline — everything completes,
+# the row records the serving-path overhead shape; and a zero deadline —
+# everything sheds as kDeadlineExceeded without dispatch.
+"$BUILD/bench/bench_batch_queries" --threads=4 --deadline-ms=60000 \
+    --json="$OUT/batch_deadline.json"
+"$BUILD/bench/bench_batch_queries" --threads=4 --deadline-ms=0 \
+    --json="$OUT/batch_deadline_expired.json"
+# Admission overload mode: small in-flight limit, three priority
+# classes; the binary exits non-zero if non-best-effort traffic sheds.
+"$BUILD/bench/bench_batch_queries" --threads=4 --overload \
+    --json="$OUT/batch_overload.json"
 "$BUILD/bench/bench_opf_representations" --json="$OUT/opf_representations.json" \
     --benchmark_min_time=0.01 >/dev/null
 
 {
-  printf '{"pr":5,"benches":{'
+  printf '{"pr":6,"benches":{'
   printf '"fig7a":';                  cat "$OUT/fig7a.json" | tr -d '\n'
   printf ',"fig7a_perlabel_frozen":'; cat "$OUT/fig7a_perlabel_frozen.json" | tr -d '\n'
   printf ',"fig7c":';                 cat "$OUT/fig7c.json" | tr -d '\n'
   printf ',"frozen_kernels":';        cat "$OUT/frozen_kernels.json" | tr -d '\n'
   printf ',"batch_mixed":';           cat "$OUT/batch_mixed.json" | tr -d '\n'
+  printf ',"batch_deadline":';        cat "$OUT/batch_deadline.json" | tr -d '\n'
+  printf ',"batch_deadline_expired":'; cat "$OUT/batch_deadline_expired.json" | tr -d '\n'
+  printf ',"batch_overload":';        cat "$OUT/batch_overload.json" | tr -d '\n'
   printf '}}\n'
-} > BENCH_5.json
+} > BENCH_6.json
 
-echo "wrote BENCH_5.json (+ per-bench JSON in $OUT)"
+echo "wrote BENCH_6.json (+ per-bench JSON in $OUT)"

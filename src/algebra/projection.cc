@@ -121,7 +121,7 @@ Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
     ProjectionStats* stats, const ParallelOptions& parallel,
     const FrozenInstance* frozen, EpsilonScratch* scratch,
-    obs::TraceSession* trace) {
+    obs::TraceSession* trace, QueryControl* control) {
   (void)scratch;  // see the header: per-object buffers are thread-local
   const WeakInstance& weak = instance.weak();
   const std::size_t num_ids = weak.dict().num_objects();
@@ -197,6 +197,13 @@ Result<ProbabilisticInstance> AncestorProject(
   // new_opf slots — so a layer's objects can be processed in any order,
   // or concurrently, with bit-identical results.
   auto update_object = [&](ObjectId o, std::size_t level) -> Status {
+    // Cooperative gate: one op up front, the object's row-ops at the
+    // end; overshoot per worker is bounded by one object's update plus
+    // the check interval (util/cancel.h).
+    if (control != nullptr) {
+      Status cs = control->Charge(1);
+      if (!cs.ok()) return cs;
+    }
     const bool children_are_targets = (level + 1 == n);
     const LabelId l = path.labels[level];
     MarginScratch& ms = LocalMarginScratch();
@@ -406,6 +413,10 @@ Result<ProbabilisticInstance> AncestorProject(
     }
     new_opf[o] = std::make_unique<ExplicitOpf>(
         ExplicitOpf::FromEntries(std::move(rows)));
+    if (control != nullptr) {
+      Status cs = control->Charge(ops);
+      if (!cs.ok()) return cs;
+    }
     return Status::Ok();
   };
 

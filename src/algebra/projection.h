@@ -7,6 +7,7 @@
 #include "core/probabilistic_instance.h"
 #include "graph/path.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -87,11 +88,16 @@ struct ProjectionStats {
 /// (obs/trace.h); null is the zero-cost disabled path. Independent of
 /// tracing, a successful projection flushes its counters into the
 /// `pxml.projection.*` registry metrics.
+///
+/// A non-null `control` makes the marginalization pass cooperative
+/// (deadline/budget/cancellation, util/cancel.h): every per-object
+/// update charges its row-ops, so a doomed projection stops within the
+/// bounded check interval. Null costs one branch per object update.
 Result<ProbabilisticInstance> AncestorProject(
     const ProbabilisticInstance& instance, const PathExpression& path,
     ProjectionStats* stats = nullptr, const ParallelOptions& parallel = {},
     const FrozenInstance* frozen = nullptr, EpsilonScratch* scratch = nullptr,
-    obs::TraceSession* trace = nullptr);
+    obs::TraceSession* trace = nullptr, QueryControl* control = nullptr);
 
 /// Efficient descendant projection: ancestor projection, plus every
 /// target keeps its original subtree (whose local interpretation is

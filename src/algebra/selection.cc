@@ -51,9 +51,13 @@ Result<std::vector<ObjectId>> AncestorChain(const WeakInstance& weak,
 
 /// Conditions ℘(o) on containing `child`; returns the pre-conditioning
 /// mass m = P(child ∈ c) and installs the conditioned OPF in `out`.
+/// A non-null `control` charges the row scan (one op per row or
+/// independent entry) so a doomed selection stops within the bounded
+/// check interval.
 Result<double> ConditionOpfOnChild(const ProbabilisticInstance& in,
                                    ObjectId o, ObjectId child,
-                                   ProbabilisticInstance* out) {
+                                   ProbabilisticInstance* out,
+                                   QueryControl* control) {
   const Opf* opf = in.GetOpf(o);
   if (opf == nullptr) {
     return Status::FailedPrecondition(
@@ -62,6 +66,9 @@ Result<double> ConditionOpfOnChild(const ProbabilisticInstance& in,
   if (const auto* ind = dynamic_cast<const IndependentOpf*>(opf)) {
     // §3.2 structure exploitation: conditioning an independent OPF on a
     // child keeps it independent — set that child's probability to 1.
+    if (control != nullptr) {
+      PXML_RETURN_IF_ERROR(control->Charge(ind->children().size()));
+    }
     double mass = ind->MarginalChildProb(child);
     if (mass <= kProbEps) {
       return Status::FailedPrecondition(
@@ -77,7 +84,11 @@ Result<double> ConditionOpfOnChild(const ProbabilisticInstance& in,
   }
   double mass = 0.0;
   auto conditioned = std::make_unique<ExplicitOpf>();
+  std::uint64_t rows = 0;
   for (const OpfEntry& row : opf->Entries()) {
+    if (control != nullptr && ++rows % 1024 == 0) {
+      PXML_RETURN_IF_ERROR(control->Charge(1024));
+    }
     if (row.child_set.Contains(child)) {
       mass += row.prob;
       if (row.prob > 0.0) conditioned->Set(row.child_set, row.prob);
@@ -98,9 +109,11 @@ Result<double> ConditionOpfOnChild(const ProbabilisticInstance& in,
 Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
                                      const SelectionCondition& condition,
                                      SelectionStats* stats,
-                                     obs::TraceSession* trace) {
+                                     obs::TraceSession* trace,
+                                     QueryControl* control) {
   const WeakInstance& weak = instance.weak();
   PXML_RETURN_IF_ERROR(CheckWeakTree(weak));
+  if (control != nullptr) PXML_RETURN_IF_ERROR(control->CheckNow());
 
   // ---- Locate the target and its ancestor chain.
   std::optional<obs::TraceSpan> locate_span;
@@ -136,7 +149,7 @@ Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
   for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
     PXML_ASSIGN_OR_RETURN(
         double m, ConditionOpfOnChild(instance, chain[i], chain[i + 1],
-                                      &out));
+                                      &out, control));
     condition_prob *= m;
   }
   std::size_t updated = chain.size() > 0 ? chain.size() - 1 : 0;
@@ -181,7 +194,11 @@ Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
       const IdSet& lch = weak.Lch(target, condition.count_label);
       auto restricted = std::make_unique<ExplicitOpf>();
       double mass = 0.0;
+      std::uint64_t rows = 0;
       for (const OpfEntry& row : opf->Entries()) {
+        if (control != nullptr && ++rows % 1024 == 0) {
+          PXML_RETURN_IF_ERROR(control->Charge(1024));
+        }
         std::uint32_t k = static_cast<std::uint32_t>(
             row.child_set.Intersect(lch).size());
         if (condition.count_range.Contains(k)) {

@@ -4,6 +4,7 @@
 #include "algebra/selection_global.h"
 #include "core/probabilistic_instance.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace pxml {
@@ -41,10 +42,15 @@ struct SelectionStats {
 /// "locate"/"update" spans (obs/trace.h); null is the zero-cost disabled
 /// path. A successful selection flushes its counters into the
 /// `pxml.selection.*` registry metrics either way.
+///
+/// A non-null `control` makes the chain-conditioning pass cooperative
+/// (deadline/budget/cancellation, util/cancel.h): each conditioned OPF's
+/// row scan charges through it. Null costs one branch per chain object.
 Result<ProbabilisticInstance> Select(const ProbabilisticInstance& instance,
                                      const SelectionCondition& condition,
                                      SelectionStats* stats = nullptr,
-                                     obs::TraceSession* trace = nullptr);
+                                     obs::TraceSession* trace = nullptr,
+                                     QueryControl* control = nullptr);
 
 }  // namespace pxml
 

@@ -10,29 +10,37 @@
 
 namespace pxml {
 
-/// The historical batch-query entry point, now a thin wrapper over a
-/// QueryEngine in borrowing (query-only, uncached) mode: same
-/// constructor, same Run() signature, same bit-identical deterministic
-/// answers. BatchOptions / BatchStats / BatchQuery / BatchAnswer live in
-/// query/engine.h and are re-exported through this header.
+/// DEPRECATED compatibility shim — construct a QueryEngine instead.
 ///
-/// New code should construct a QueryEngine directly — it adds the ε-memo
-/// cache and the mutation API (UpdateOpf / UpdateVpf / ReplaceSubtree)
-/// with precise invalidation; this wrapper stays for call sites that
-/// only ever run stateless batches over an instance they own.
+/// The historical batch-query entry point, retained header-only for call
+/// sites that predate the QueryEngine facade. It wraps a QueryEngine in
+/// borrowing (query-only) mode with the ε-memo cache and the frozen
+/// kernels forced off, preserving its historical stateless, bit-exact
+/// generic evaluation: no state survives between batches.
 ///
-/// Thread-safety contract: the engine only ever touches the instance
-/// through const methods, and the instance must outlive the engine.
-/// Each Run() pins exactly one snapshot epoch for its whole batch (the
-/// underlying QueryEngine re-snapshots lazily if the borrowed instance's
-/// version counters moved between runs), so every answer in a batch is
-/// computed against one consistent instance state. Mutating the borrowed
-/// instance *while* a batch runs remains undefined behavior — borrowing
-/// mode snapshots by version check, not by copy.
-class BatchQueryEngine {
+/// What it cannot do — and why new code should migrate:
+///  * no mutation API (UpdateOpf / UpdateVpf / ReplaceSubtree);
+///  * no ε-memo cache or frozen kernels (every batch recomputes);
+///  * no QueryRequest serving controls — Run() here has no deadline,
+///    row-op budget, cancellation, or admission priority surface.
+/// Migration is mechanical: `BatchQueryEngine e(inst, opts)` becomes
+/// `QueryEngine e(&inst, opts)` (add `opts.cache = false; opts.frozen =
+/// false;` only if the historical stateless behavior matters), and
+/// `e.Run(queries, ...)` is unchanged. See README "Migrating to
+/// QueryRequest".
+///
+/// Thread-safety contract (unchanged): the engine only ever touches the
+/// instance through const methods, and the instance must outlive the
+/// engine. Each Run() pins exactly one snapshot epoch for its whole
+/// batch; mutating the borrowed instance *while* a batch runs is
+/// undefined behavior.
+class [[deprecated(
+    "construct a QueryEngine directly; see README 'Migrating to "
+    "QueryRequest'")]] BatchQueryEngine {
  public:
   explicit BatchQueryEngine(const ProbabilisticInstance& instance,
-                            BatchOptions options = {});
+                            BatchOptions options = {})
+      : engine_(&instance, WrapperOptions(options)) {}
 
   BatchQueryEngine(const BatchQueryEngine&) = delete;
   BatchQueryEngine& operator=(const BatchQueryEngine&) = delete;
@@ -42,9 +50,7 @@ class BatchQueryEngine {
 
   /// Evaluates the whole batch; answers[i] corresponds to queries[i].
   /// The returned status is only non-OK for engine-level failures;
-  /// per-query failures are reported in each BatchAnswer. `trace`
-  /// (optional) records the batch's span tree exactly as QueryEngine::Run
-  /// does; each answer carries its QueryProfile either way.
+  /// per-query failures are reported in each BatchAnswer.
   Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
                                        BatchStats* stats = nullptr,
                                        obs::TraceSession* trace = nullptr)
@@ -53,6 +59,14 @@ class BatchQueryEngine {
   }
 
  private:
+  /// Wrapper mode: keep the historical stateless behavior — no ε-memo
+  /// cache survives between batches and no frozen snapshot is compiled.
+  static BatchOptions WrapperOptions(BatchOptions options) {
+    options.cache = false;
+    options.frozen = false;
+    return options;
+  }
+
   QueryEngine engine_;
 };
 

@@ -1,8 +1,10 @@
 #include "query/engine.h"
 
+#include <charconv>
 #include <chrono>
 #include <ctime>
 #include <optional>
+#include <system_error>
 #include <thread>
 #include <utility>
 
@@ -58,6 +60,60 @@ obs::Histogram& SnapshotAge() {
   return h;
 }
 
+// Serving counters (DESIGN.md §11). admitted/rejected count *batches* at
+// the admission decision; deadline_exceeded/cancelled/budget_exhausted
+// count individual *queries* whose final status carries the trip code
+// (including the fail-fast paths that answer a batch without dispatch).
+obs::Counter& AdmittedBatches() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.admitted");
+  return c;
+}
+obs::Counter& RejectedBatches() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.rejected");
+  return c;
+}
+obs::Counter& DeadlineExceededQueries() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.deadline_exceeded");
+  return c;
+}
+obs::Counter& CancelledQueries() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.cancelled");
+  return c;
+}
+obs::Counter& BudgetExhaustedQueries() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("pxml.engine.budget_exhausted");
+  return c;
+}
+/// Arrival-to-shed latency of batches the admission controller turned
+/// away — how long callers burn before learning they were shed.
+obs::Histogram& ShedWaitNs() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("pxml.engine.shed_wait_ns");
+  return h;
+}
+
+/// Tallies one answer's serving trip code (no-op for every other code).
+void CountTripCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      DeadlineExceededQueries().Increment();
+      break;
+    case StatusCode::kCancelled:
+      CancelledQueries().Increment();
+      break;
+    case StatusCode::kResourceExhausted:
+      BudgetExhaustedQueries().Increment();
+      break;
+    default:
+      break;
+  }
+}
+
 const char* KindName(BatchQuery::Kind kind) {
   switch (kind) {
     case BatchQuery::Kind::kPoint:
@@ -89,6 +145,25 @@ const char* QuerySpanName(BatchQuery::Kind kind) {
       return "query:ancestor_project";
   }
   return "query:unknown";
+}
+
+/// Answers every query of a batch with one status without dispatching
+/// anything — the fail-fast and shed paths. Trip codes are tallied here
+/// (per query, same rule as the dispatched path).
+std::vector<BatchAnswer> AnswerAll(const std::vector<BatchQuery>& queries,
+                                   const Status& status, std::size_t threads,
+                                   BatchStats* stats) {
+  std::vector<BatchAnswer> answers(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    answers[i].status = status;
+    answers[i].profile.kind = KindName(queries[i].kind);
+    CountTripCode(status);
+  }
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->threads = threads;
+  }
+  return answers;
 }
 
 }  // namespace
@@ -128,6 +203,70 @@ BatchQuery BatchQuery::AncestorProjection(PathExpression p) {
   q.kind = Kind::kAncestorProject;
   q.path = std::move(p);
   return q;
+}
+
+namespace {
+
+/// Strict full-string integer parse ([-]digits only, no trailing junk).
+template <typename Int>
+bool ParseInt(std::string_view text, Int* out) {
+  if (text.empty()) return false;
+  Int value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Status ApplyRequestFlag(std::string_view flag, QueryRequest* request) {
+  const std::size_t eq = flag.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument(
+        StrCat("request flag '", std::string(flag), "' is not key=value"));
+  }
+  const std::string_view key = flag.substr(0, eq);
+  const std::string_view value = flag.substr(eq + 1);
+  if (key == "deadline-ms") {
+    std::uint64_t ms = 0;
+    if (!ParseInt(value, &ms)) {
+      return Status::InvalidArgument(
+          StrCat("deadline-ms wants a non-negative integer, got '",
+                 std::string(value), "'"));
+    }
+    request->deadline =
+        QueryRequest::Clock::now() + std::chrono::milliseconds(ms);
+  } else if (key == "row-op-budget") {
+    std::uint64_t budget = 0;
+    if (!ParseInt(value, &budget)) {
+      return Status::InvalidArgument(
+          StrCat("row-op-budget wants a non-negative integer, got '",
+                 std::string(value), "'"));
+    }
+    request->row_op_budget = budget;
+  } else if (key == "priority") {
+    int priority = 0;
+    if (!ParseInt(value, &priority)) {
+      return Status::InvalidArgument(StrCat(
+          "priority wants an integer, got '", std::string(value), "'"));
+    }
+    request->priority = priority;
+  } else if (key == "require-latest") {
+    if (value == "1") {
+      request->require_latest = true;
+    } else if (value == "0") {
+      request->require_latest = false;
+    } else {
+      return Status::InvalidArgument(StrCat(
+          "require-latest wants 0 or 1, got '", std::string(value), "'"));
+    }
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown request flag key '", std::string(key), "'"));
+  }
+  return Status::Ok();
 }
 
 struct QueryEngine::Epoch {
@@ -294,12 +433,13 @@ void QueryEngine::Publish(std::shared_ptr<const ProbabilisticInstance> next) {
   EpochsPublished().Increment();
 }
 
-BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
-                                const ProbabilisticInstance& instance,
-                                ProjectionStats* projection_stats,
-                                EpsilonStats* eps_stats,
-                                const FrozenInstance* frozen,
-                                obs::TraceSession* trace) const {
+BatchAnswer QueryEngine::ExecuteOne(const BatchQuery& query,
+                                    const ProbabilisticInstance& instance,
+                                    ProjectionStats* projection_stats,
+                                    EpsilonStats* eps_stats,
+                                    const FrozenInstance* frozen,
+                                    obs::TraceSession* trace,
+                                    QueryControl* control) const {
   const auto t0 = std::chrono::steady_clock::now();
   obs::TraceSpan query_span(trace, QuerySpanName(query.kind));
 
@@ -311,6 +451,7 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
   // private buffers, returned (warm) to the pool when the query finishes.
   EpsilonHooks query_hooks = Hooks(eps_stats);
   query_hooks.trace = trace;
+  query_hooks.control = control;
   std::optional<EpsilonScratchPool::Lease> lease;
   if (frozen != nullptr && scratch_pool_ != nullptr) {
     lease.emplace(scratch_pool_->Acquire());
@@ -319,7 +460,16 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
   }
 
   BatchAnswer answer;
-  switch (query.kind) {
+  // Task-dequeue check: a query whose batch tripped (deadline, token)
+  // while this task sat in the pool queue is answered without running a
+  // single pass.
+  if (control != nullptr) {
+    answer.status = control->CheckNow();
+  }
+  if (!answer.status.ok()) {
+    // Fall through to the profile fill below — shed queries still get a
+    // profile (kind, wall time, epoch) and count on the query metrics.
+  } else switch (query.kind) {
     case BatchQuery::Kind::kPoint: {
       Result<double> p = PointQuery(instance, query.path, query.object,
                                     parallel, query_hooks);
@@ -361,9 +511,9 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
       break;
     }
     case BatchQuery::Kind::kAncestorProject: {
-      Result<ProbabilisticInstance> projected =
-          AncestorProject(instance, query.path, projection_stats, parallel,
-                          query_hooks.frozen, query_hooks.scratch, trace);
+      Result<ProbabilisticInstance> projected = AncestorProject(
+          instance, query.path, projection_stats, parallel,
+          query_hooks.frozen, query_hooks.scratch, trace, control);
       if (projected.ok()) {
         answer.projection = std::move(projected).ValueOrDie();
       } else {
@@ -438,20 +588,63 @@ BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
 }
 
 Result<std::vector<BatchAnswer>> QueryEngine::Run(
-    const std::vector<BatchQuery>& queries, BatchStats* stats,
-    obs::TraceSession* trace, RunOptions options) const {
-  if (options.require_latest &&
+    const std::vector<BatchQuery>& queries, const QueryRequest& request,
+    BatchStats* stats, obs::TraceSession* trace) const {
+  const auto arrival = std::chrono::steady_clock::now();
+  // ---- Step 1: fail fast. Each of these answers the whole batch
+  // without pinning an epoch or touching the pool.
+  if (request.require_latest &&
       mutators_.load(std::memory_order_acquire) > 0) {
     // Read-your-writes callers prefer failing fast over reading the
     // previous epoch.
-    std::vector<BatchAnswer> answers(queries.size());
-    for (BatchAnswer& a : answers) a.status = StaleStatus();
-    if (stats != nullptr) {
-      *stats = BatchStats{};
-      stats->threads = threads();
-    }
-    return answers;
+    return AnswerAll(queries, StaleStatus(), threads(), stats);
   }
+  if (request.deadline.has_value() && *request.deadline <= arrival) {
+    return AnswerAll(
+        queries,
+        Status::DeadlineExceeded("deadline expired before dispatch"),
+        threads(), stats);
+  }
+  if (request.cancel != nullptr && request.cancel->cancel_requested()) {
+    return AnswerAll(queries,
+                     Status::Cancelled("cancellation requested before "
+                                       "dispatch"),
+                     threads(), stats);
+  }
+
+  // One pinned epoch for the whole batch: the shared_ptr keeps the
+  // snapshot (instance + frozen form) alive however many mutation scopes
+  // commit meanwhile; every answer is computed against this one
+  // committed state. Pinned before admission so the cost gate can read
+  // the snapshot's CSR sizes.
+  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
+  const ProbabilisticInstance& pinned = *epoch->instance;
+  const FrozenInstance* frozen = epoch->frozen.get();
+
+  // ---- Step 2: admission. The estimate is deliberately cheap and
+  // per-query uniform: one ε pass visits every compiled row once, so
+  // (rows + objects) × queries bounds the batch's row-op cost from
+  // below. No frozen form → fall back to the object count.
+  const std::uint64_t per_query_cost =
+      frozen != nullptr
+          ? static_cast<std::uint64_t>(frozen->num_rows() +
+                                       frozen->num_ids())
+          : static_cast<std::uint64_t>(pinned.weak().dict().num_objects());
+  const Status admitted = Admit(request, per_query_cost * queries.size());
+  if (!admitted.ok()) {
+    RejectedBatches().Increment();
+    ShedWaitNs().Record(static_cast<std::uint64_t>(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      arrival)
+            .count() *
+        1e9));
+    return AnswerAll(queries, admitted, threads(), stats);
+  }
+  AdmittedBatches().Increment();
+  struct SlotRelease {
+    const QueryEngine* engine;
+    ~SlotRelease() { engine->ReleaseAdmission(); }
+  } slot_release{this};
 
   obs::TraceSpan batch_span(trace, "batch");
   const auto wall0 = std::chrono::steady_clock::now();
@@ -462,13 +655,32 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
   // batches on one pool cannot smear each other's numbers.
   BatchMetrics pool_metrics;
 
-  // One pinned epoch for the whole batch: the shared_ptr keeps the
-  // snapshot (instance + frozen form) alive however many mutation scopes
-  // commit meanwhile; every answer is computed against this one
-  // committed state.
-  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
-  const ProbabilisticInstance& pinned = *epoch->instance;
-  const FrozenInstance* frozen = epoch->frozen.get();
+  // ---- Step 3: execution. Per-query QueryControls only exist when the
+  // request asked for a serving constraint: an unconstrained run passes
+  // null controls through every pass, which is the bit-identical
+  // (answers *and* row-op tallies) pre-request path the ≤2% CI gate
+  // measures. std::deque because QueryControl is address-stable-required
+  // (non-movable atomics).
+  const bool controlled = request.cancel != nullptr ||
+                          request.deadline.has_value() ||
+                          request.row_op_budget != 0;
+  std::deque<QueryControl> controls;
+  if (controlled) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      QueryControl& control = controls.emplace_back();
+      if (request.cancel != nullptr) control.set_token(request.cancel);
+      if (request.deadline.has_value()) {
+        control.set_deadline(*request.deadline);
+      }
+      if (request.row_op_budget != 0) {
+        control.set_row_op_budget(request.row_op_budget);
+      }
+    }
+  }
+  const auto control_of = [&controls, controlled](
+                              std::size_t i) -> QueryControl* {
+    return controlled ? &controls[i] : nullptr;
+  };
 
   std::vector<BatchAnswer> answers(queries.size());
   // Per-query stats slots, merged sequentially below: each query tallies
@@ -479,22 +691,25 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
 
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      answers[i] = RunOne(queries[i], pinned, &projection_stats[i],
-                          &eps_stats[i], frozen, trace);
+      answers[i] = ExecuteOne(queries[i], pinned, &projection_stats[i],
+                              &eps_stats[i], frozen, trace, control_of(i));
     }
   } else {
     ThreadPool::BatchMetricsScope metrics_scope(&pool_metrics);
     TaskGroup group(pool_.get());
     for (std::size_t i = 0; i < queries.size(); ++i) {
       group.Run([this, &queries, &answers, &projection_stats, &eps_stats,
-                 &pinned, frozen, trace, i] {
-        answers[i] = RunOne(queries[i], pinned, &projection_stats[i],
-                            &eps_stats[i], frozen, trace);
+                 &pinned, &control_of, frozen, trace, i] {
+        answers[i] = ExecuteOne(queries[i], pinned, &projection_stats[i],
+                                &eps_stats[i], frozen, trace, control_of(i));
       });
     }
     group.Wait();
   }
-  for (BatchAnswer& a : answers) a.profile.epoch = epoch->id;
+  for (BatchAnswer& a : answers) {
+    a.profile.epoch = epoch->id;
+    CountTripCode(a.status);
+  }
   // How far behind the head this batch's answers are at completion
   // (0 = no mutation committed while it ran).
   SnapshotAge().Record(head_epoch() - epoch->id);
@@ -565,78 +780,125 @@ Result<std::vector<BatchAnswer>> QueryEngine::Run(
   return answers;
 }
 
+Result<std::vector<BatchAnswer>> QueryEngine::Run(
+    const std::vector<BatchQuery>& queries, BatchStats* stats,
+    obs::TraceSession* trace, RunOptions options) const {
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  return Run(queries, request, stats, trace);
+}
+
+BatchAnswer QueryEngine::RunOne(const BatchQuery& query,
+                                const QueryRequest& request) const {
+  std::vector<BatchQuery> one;
+  one.push_back(query);
+  Result<std::vector<BatchAnswer>> answers = Run(one, request);
+  if (!answers.ok()) {
+    BatchAnswer answer;
+    answer.status = answers.status();
+    return answer;
+  }
+  std::vector<BatchAnswer> batch = std::move(answers).ValueOrDie();
+  return std::move(batch[0]);
+}
+
+Status QueryEngine::Admit(const QueryRequest& request,
+                          std::uint64_t estimated_cost) const {
+  // Priority > 0 (critical) bypasses the load-shedding gates; everything
+  // still honors the hard in-flight limit below.
+  if (request.priority <= 0) {
+    if (options_.queue_depth_watermark != 0 && pool_ != nullptr) {
+      const std::size_t backlog = pool_->queued_tasks();
+      if (backlog > options_.queue_depth_watermark) {
+        return Status::Rejected(
+            StrCat("admission: pool backlog ", backlog, " tasks above the ",
+                   options_.queue_depth_watermark, "-task watermark"));
+      }
+    }
+    if (options_.max_estimated_row_ops != 0 &&
+        estimated_cost > options_.max_estimated_row_ops) {
+      return Status::Rejected(StrCat(
+          "admission: estimated cost ", estimated_cost,
+          " row-ops above the ", options_.max_estimated_row_ops, " limit"));
+    }
+  }
+  if (options_.max_in_flight_batches == 0) {
+    in_flight_batches_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  const auto admissible = [this] {
+    return in_flight_batches_.load(std::memory_order_relaxed) <
+           options_.max_in_flight_batches;
+  };
+  if (!admissible()) {
+    if (request.priority < 0) {
+      return Status::Rejected(
+          StrCat("admission: ", options_.max_in_flight_batches,
+                 " batches in flight (best-effort request is not queued)"));
+    }
+    if (request.deadline.has_value()) {
+      if (!admission_cv_.wait_until(lock, *request.deadline, admissible)) {
+        return Status::DeadlineExceeded(
+            "deadline expired while queued for an admission slot");
+      }
+    } else {
+      admission_cv_.wait(lock, admissible);
+    }
+  }
+  // Claimed under admission_mu_, so concurrent admitters cannot
+  // oversubscribe the limit between the predicate and the increment.
+  in_flight_batches_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void QueryEngine::ReleaseAdmission() const {
+  in_flight_batches_.fetch_sub(1, std::memory_order_relaxed);
+  if (options_.max_in_flight_batches != 0) {
+    // Notify under the mutex: a waiter is either inside its predicate
+    // (holding the lock — it will see the decrement) or parked (the
+    // notification wakes it), so no wakeup is lost.
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    admission_cv_.notify_one();
+  }
+}
+
 Result<double> QueryEngine::PointProbability(const PathExpression& path,
                                              ObjectId object,
                                              RunOptions options) const {
-  if (options.require_latest &&
-      mutators_.load(std::memory_order_acquire) > 0) {
-    return StaleStatus();
-  }
-  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
-  EpsilonHooks hooks = Hooks(nullptr);
-  std::optional<EpsilonScratchPool::Lease> lease;
-  if (epoch->frozen != nullptr) {
-    lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = epoch->frozen.get();
-    hooks.scratch = lease->get();
-  }
-  return PointQuery(*epoch->instance, path, object, parallel, hooks);
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = RunOne(BatchQuery::Point(path, object), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
 }
 
 Result<double> QueryEngine::ExistsProbability(const PathExpression& path,
                                               RunOptions options) const {
-  if (options.require_latest &&
-      mutators_.load(std::memory_order_acquire) > 0) {
-    return StaleStatus();
-  }
-  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
-  EpsilonHooks hooks = Hooks(nullptr);
-  std::optional<EpsilonScratchPool::Lease> lease;
-  if (epoch->frozen != nullptr) {
-    lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = epoch->frozen.get();
-    hooks.scratch = lease->get();
-  }
-  return ExistsQuery(*epoch->instance, path, parallel, hooks);
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = RunOne(BatchQuery::Exists(path), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
 }
 
 Result<double> QueryEngine::ValueProbability(const PathExpression& path,
                                              const Value& value,
                                              RunOptions options) const {
-  if (options.require_latest &&
-      mutators_.load(std::memory_order_acquire) > 0) {
-    return StaleStatus();
-  }
-  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
-  EpsilonHooks hooks = Hooks(nullptr);
-  std::optional<EpsilonScratchPool::Lease> lease;
-  if (epoch->frozen != nullptr) {
-    lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = epoch->frozen.get();
-    hooks.scratch = lease->get();
-  }
-  return ValueQuery(*epoch->instance, path, value, parallel, hooks);
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = RunOne(BatchQuery::ValueEquals(path, value), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
 }
 
 Result<double> QueryEngine::ConditionProbability(const SelectionCondition& cond,
                                                  RunOptions options) const {
-  if (options.require_latest &&
-      mutators_.load(std::memory_order_acquire) > 0) {
-    return StaleStatus();
-  }
-  ParallelOptions parallel{pool_.get(), options_.min_parallel_width};
-  const std::shared_ptr<const Epoch> epoch = PinSnapshot();
-  EpsilonHooks hooks = Hooks(nullptr);
-  std::optional<EpsilonScratchPool::Lease> lease;
-  if (epoch->frozen != nullptr) {
-    lease.emplace(scratch_pool_->Acquire());
-    hooks.frozen = epoch->frozen.get();
-    hooks.scratch = lease->get();
-  }
-  return pxml::ConditionProbability(*epoch->instance, cond, parallel, hooks);
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = RunOne(BatchQuery::Condition(cond), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
 }
 
 QueryEngine::MutationGuard::MutationGuard(QueryEngine* engine)

@@ -2,12 +2,16 @@
 #define PXML_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "algebra/projection.h"
@@ -18,6 +22,7 @@
 #include "obs/trace.h"
 #include "query/epsilon_cache.h"
 #include "query/point_queries.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +61,25 @@ struct BatchOptions {
   /// bit-exact behavior. Instances that cannot be frozen (non-tree, OPF
   /// rows naming non-children) silently use the generic path.
   bool frozen = true;
+
+  // ---- Admission control (DESIGN.md §11). All three gates default to
+  // off, so an engine constructed with default options admits everything
+  // and behaves exactly as before they existed.
+  /// Batches allowed to execute concurrently; 0 = unlimited. At the
+  /// limit, a request with priority >= 0 queues on a condition variable
+  /// (bounded by its deadline, if it set one) until a slot frees; a
+  /// priority < 0 (best-effort) request is shed immediately with
+  /// kRejected.
+  std::size_t max_in_flight_batches = 0;
+  /// Pool backlog watermark: a batch arriving while more than this many
+  /// tasks sit unclaimed in the pool queues (ThreadPool::queued_tasks())
+  /// is shed with kRejected, unless its priority is > 0. 0 = off.
+  std::size_t queue_depth_watermark = 0;
+  /// Pre-dispatch cost gate: a batch whose estimated row-op cost
+  /// (queries × the pinned frozen snapshot's CSR row count; object count
+  /// when there is no frozen form) exceeds this is shed with kRejected,
+  /// unless its priority is > 0. 0 = off.
+  std::uint64_t max_estimated_row_ops = 0;
 };
 
 /// Per-call read options (DESIGN.md §7).
@@ -69,6 +93,57 @@ struct RunOptions {
   /// observe an epoch older than the writer they are coordinating with.
   bool require_latest = false;
 };
+
+/// Per-call execution policy: what RunOptions carried, plus the serving
+/// controls (deadline, budget, cancellation, admission priority) of
+/// DESIGN.md §11. Default-constructed it is equivalent to the old
+/// RunOptions{} — no deadline, no budget, no token — and the engine then
+/// passes null QueryControls through the passes, so answers *and row-op
+/// counts* are bit-identical to a pre-§11 run (the ≤2% CI gate rides on
+/// this).
+///
+/// Trip granularity contract (util/cancel.h): once the deadline expires,
+/// the budget is exhausted, or the token trips, every query of the batch
+/// stops within QueryControl::kCheckIntervalOps row-ops per participating
+/// worker and reports the trip code in its BatchAnswer::status. Queries
+/// that completed before the trip keep their answers — bit-identical to
+/// an unconstrained run against the same epoch.
+struct QueryRequest {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute wall deadline for the whole batch. Queries still running
+  /// when it passes return kDeadlineExceeded; a batch arriving with its
+  /// deadline already expired returns all-kDeadlineExceeded without
+  /// dispatching anything.
+  std::optional<Clock::time_point> deadline;
+  /// Per-query row-op budget (the EpsilonStats::opf_row_ops counting
+  /// rule); a query that charges past it returns kResourceExhausted.
+  /// 0 = unlimited.
+  std::uint64_t row_op_budget = 0;
+  /// Admission class: < 0 is best-effort (shed first, never queues for a
+  /// slot), 0 is normal, > 0 is critical (bypasses the backlog watermark
+  /// and the cost gate; still bounded by max_in_flight_batches).
+  int priority = 0;
+  /// See RunOptions::require_latest — unchanged fail-fast semantics.
+  bool require_latest = false;
+  /// Cooperative cancellation. The engine never owns the token; the
+  /// caller keeps it alive for the duration of the call and may trip it
+  /// from any thread. Affected queries return kCancelled.
+  const CancellationToken* cancel = nullptr;
+
+  /// Convenience: deadline = now + d.
+  QueryRequest& ExpireAfter(Clock::duration d) {
+    deadline = Clock::now() + d;
+    return *this;
+  }
+};
+
+/// Parses one `key=value` request knob into `request` — the bench/CLI
+/// surface for QueryRequest ("deadline-ms=50", "row-op-budget=100000",
+/// "priority=-1", "require-latest=1"). Returns InvalidArgument (with the
+/// offending flag in the message) on an unknown key or a malformed
+/// value; `request` is untouched on failure.
+Status ApplyRequestFlag(std::string_view flag, QueryRequest* request);
 
 /// Per-batch counters, extending the per-projection phase breakdown with
 /// the pool-side numbers (the projection phases accumulate over every
@@ -293,8 +368,24 @@ class QueryEngine {
   /// Evaluates the whole batch against one pinned epoch; answers[i]
   /// corresponds to queries[i]. The returned status is only non-OK for
   /// engine-level failures; per-query failures are reported in each
-  /// BatchAnswer. With options.require_latest and a mutation scope open,
+  /// BatchAnswer. With request.require_latest and a mutation scope open,
   /// every answer is kStale (see RunOptions).
+  ///
+  /// Serving path (DESIGN.md §11), in order:
+  ///  1. fail-fast checks — require_latest (kStale), an already-expired
+  ///     deadline (kDeadlineExceeded), a pre-tripped token (kCancelled) —
+  ///     answer every query without pinning or dispatching;
+  ///  2. admission — the BatchOptions gates may shed the batch
+  ///     (kRejected) or queue it for an in-flight slot; shed wait time
+  ///     lands on pxml.engine.shed_wait_ns;
+  ///  3. execution — with any of deadline/budget/token set, each query
+  ///     runs under its own QueryControl and a tripped query returns the
+  ///     trip code while the rest of the batch completes normally. With
+  ///     none set this step is bit-identical (answers and row-op counts)
+  ///     to the pre-request API.
+  /// Per-query trip codes are tallied on pxml.engine.{deadline_exceeded,
+  /// cancelled,budget_exhausted}; admission outcomes on
+  /// pxml.engine.{admitted,rejected}.
   ///
   /// A non-null `trace` records the batch as a span tree — one "batch"
   /// root, one "query:<kind>" span per query (linked from its
@@ -302,23 +393,46 @@ class QueryEngine {
   /// export via obs::TraceSession::WriteChromeTrace. Null is the
   /// zero-cost disabled path; tracing never changes answers.
   Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
+                                       const QueryRequest& request,
+                                       BatchStats* stats = nullptr,
+                                       obs::TraceSession* trace = nullptr) const;
+
+  /// Legacy entry point: RunOptions carries only require_latest; forwards
+  /// to the QueryRequest overload with no deadline/budget/token.
+  Result<std::vector<BatchAnswer>> Run(const std::vector<BatchQuery>& queries,
                                        BatchStats* stats = nullptr,
                                        obs::TraceSession* trace = nullptr,
                                        RunOptions options = {}) const;
 
-  /// Single-query conveniences: the Section-6.2 point queries evaluated
-  /// through the facade (pinned epoch, ε-memo cache; kStale only with
-  /// options.require_latest). Prefer Run() for more than a couple of
-  /// queries.
+  /// Runs one query through the full serving path (admission, deadline,
+  /// budget, cancellation — a one-query batch). This is *the* single-
+  /// query entry point; the typed conveniences below are shims over it.
+  BatchAnswer RunOne(const BatchQuery& query,
+                     const QueryRequest& request = {}) const;
+
+  /// Single-query conveniences, retained as thin shims over RunOne().
+  /// They predate BatchQuery/BatchAnswer and lose the profile and the
+  /// serving controls — new code should build a BatchQuery and call
+  /// RunOne (or Run) instead.
+  [[deprecated("use RunOne(BatchQuery::Point(...), request)")]]
   Result<double> PointProbability(const PathExpression& path, ObjectId object,
                                   RunOptions options = {}) const;
+  [[deprecated("use RunOne(BatchQuery::Exists(...), request)")]]
   Result<double> ExistsProbability(const PathExpression& path,
                                    RunOptions options = {}) const;
+  [[deprecated("use RunOne(BatchQuery::ValueEquals(...), request)")]]
   Result<double> ValueProbability(const PathExpression& path,
                                   const Value& value,
                                   RunOptions options = {}) const;
+  [[deprecated("use RunOne(BatchQuery::Condition(...), request)")]]
   Result<double> ConditionProbability(const SelectionCondition& cond,
                                       RunOptions options = {}) const;
+
+  /// Batches currently executing (admitted, not yet finished). Relaxed
+  /// instantaneous read — the admission tests' recovery signal.
+  std::size_t in_flight_batches() const {
+    return in_flight_batches_.load(std::memory_order_relaxed);
+  }
 
   /// A writer scope. Opening one serializes against other writers only —
   /// readers keep pinning the last committed epoch throughout. Updates
@@ -395,12 +509,26 @@ class QueryEngine {
   /// "query:<kind>" span, leases scratch, dispatches, and fills the
   /// answer's QueryProfile from the per-query stats slots (`eps_stats`
   /// and `projection_stats` are this query's private tallies; the caller
-  /// merges them into the BatchStats).
-  BatchAnswer RunOne(const BatchQuery& query,
-                     const ProbabilisticInstance& instance,
-                     ProjectionStats* projection_stats,
-                     EpsilonStats* eps_stats, const FrozenInstance* frozen,
-                     obs::TraceSession* trace) const;
+  /// merges them into the BatchStats). A non-null `control` makes the
+  /// query cooperative: it is checked once before dispatch (the
+  /// task-dequeue check — a query whose batch tripped while it sat in
+  /// the pool queue never starts) and then charged through every pass.
+  BatchAnswer ExecuteOne(const BatchQuery& query,
+                         const ProbabilisticInstance& instance,
+                         ProjectionStats* projection_stats,
+                         EpsilonStats* eps_stats, const FrozenInstance* frozen,
+                         obs::TraceSession* trace,
+                         QueryControl* control) const;
+
+  /// The admission decision for one batch (step 2 of Run's serving
+  /// path). Returns OK once the batch may execute — having bumped
+  /// in_flight_batches_ — or the shed status (kRejected; kDeadlineExceeded
+  /// when the deadline expired while queued for a slot). `estimated_cost`
+  /// is the pre-dispatch row-op estimate from the pinned epoch.
+  Status Admit(const QueryRequest& request,
+               std::uint64_t estimated_cost) const;
+  /// Releases an Admit slot and wakes one queued waiter.
+  void ReleaseAdmission() const;
   EpsilonHooks Hooks(EpsilonStats* stats) const {
     return EpsilonHooks{cache_.get(), stats};
   }
@@ -446,6 +574,13 @@ class QueryEngine {
   std::mutex writer_mu_;
   /// Open mutation scopes — the require_latest fail-fast signal.
   std::atomic<int> mutators_{0};
+
+  /// Admission state: the slot count is atomic so in_flight_batches() is
+  /// a lock-free read; the mutex/cv pair only serializes the
+  /// wait-for-a-slot path (untaken while max_in_flight_batches is 0).
+  mutable std::atomic<std::size_t> in_flight_batches_{0};
+  mutable std::mutex admission_mu_;
+  mutable std::condition_variable admission_cv_;
 };
 
 }  // namespace pxml

@@ -89,7 +89,7 @@ Result<double> EpsilonPropagator::RootEpsilon(
   if (frozen_ != nullptr && scratch_ != nullptr &&
       frozen_->InSyncWith(instance_)) {
     return FrozenRootEpsilon(*frozen_, instance_, path, targets, parallel_,
-                             cache_, stats_, scratch_, trace_);
+                             cache_, stats_, scratch_, trace_, control_);
   }
   obs::TraceSpan span(trace_, "epsilon");
   // Every counter of the pass lands in a pass-local tally first and is
@@ -163,6 +163,13 @@ Result<double> EpsilonPropagator::RootEpsilonGeneric(
   // identical bits.
   auto process = [&](ObjectId o, std::size_t level, LabelId l,
                      const IdSet& next_layer) -> Status {
+    // Cooperative gate: one op up front (so cache-hit-only levels still
+    // advance the check interval), the object's row-ops at the end, and
+    // block charges inside the potentially-exponential streaming loop.
+    if (control_ != nullptr) {
+      Status cs = control_->Charge(1);
+      if (!cs.ok()) return cs;
+    }
     const IdSet retained = weak.Lch(o, l).Intersect(next_layer);
     Fingerprint key;
     if (cache_ != nullptr) {
@@ -214,8 +221,13 @@ Result<double> EpsilonPropagator::RootEpsilonGeneric(
     } else {
       // Generic fallback: stream the (possibly exponential) support one
       // transient row at a time. Every streamed row is a materialized
-      // entry — the counter the frozen kernels drive to zero.
+      // entry — the counter the frozen kernels drive to zero. Charged in
+      // blocks so even a single exponential support trips within the
+      // check interval rather than at object end.
+      Status stream_status;
+      std::uint64_t charged = 0;
       opf->ForEachEntry([&](const OpfEntry& row) {
+        if (!stream_status.ok()) return;
         ++materialized;
         bytes += sizeof(OpfEntry) + row.child_set.size() * sizeof(ObjectId);
         if (row.prob <= 0.0) return;
@@ -224,7 +236,17 @@ Result<double> EpsilonPropagator::RootEpsilonGeneric(
         row.child_set.ForEachIntersecting(
             retained, [&](ObjectId j) { none *= 1.0 - eps[j]; });
         e += row.prob * (1.0 - none);
+        if (control_ != nullptr && ops - charged >= 1024) {
+          stream_status = control_->Charge(ops - charged);
+          charged = ops;
+        }
       });
+      // Ops already block-charged are also already tallied here, so the
+      // tally stays exact even when the stream tripped mid-support; the
+      // common tail below accounts only for the uncharged remainder.
+      tally.opf_row_ops.fetch_add(charged, std::memory_order_relaxed);
+      ops -= charged;
+      PXML_RETURN_IF_ERROR(stream_status);
     }
     eps[o] = e;
     tally.recomputed.fetch_add(1, std::memory_order_relaxed);
@@ -240,6 +262,12 @@ Result<double> EpsilonPropagator::RootEpsilonGeneric(
       // to any reader — in any epoch — whose snapshot reports the same
       // subtree-change version, i.e. the same subtree ℘ state.
       cache_->Insert(key, e, instance_.SubtreeChangeVersion(o));
+    }
+    // Charged after the work (the object is complete and cached, so a
+    // retry reuses it); overshoot is bounded by one object's stored rows.
+    if (control_ != nullptr) {
+      Status cs = control_->Charge(ops);
+      if (!cs.ok()) return cs;
     }
     return Status::Ok();
   };

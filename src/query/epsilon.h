@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "prob/value.h"
 #include "query/epsilon_cache.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -111,20 +112,27 @@ class EpsilonPropagator {
   /// A non-null `trace` records each pass as an "epsilon" span with the
   /// pass's counters attached; null (the default) is the zero-cost
   /// disabled path.
+  ///
+  /// A non-null `control` makes the pass cooperative: every per-object ε
+  /// evaluation charges its row-ops through the control, so a cancelled,
+  /// deadline-blown, or over-budget query stops within the bounded check
+  /// interval (util/cancel.h) instead of running the pass to completion.
   explicit EpsilonPropagator(const ProbabilisticInstance& instance,
                              ParallelOptions parallel = {},
                              EpsilonMemoCache* cache = nullptr,
                              EpsilonStats* stats = nullptr,
                              const FrozenInstance* frozen = nullptr,
                              EpsilonScratch* scratch = nullptr,
-                             obs::TraceSession* trace = nullptr)
+                             obs::TraceSession* trace = nullptr,
+                             QueryControl* control = nullptr)
       : instance_(instance),
         parallel_(parallel),
         cache_(cache),
         stats_(stats),
         frozen_(frozen),
         scratch_(scratch),
-        trace_(trace) {}
+        trace_(trace),
+        control_(control) {}
 
   /// ε_root for the given path with the given target survival
   /// probabilities. Targets must all lie in the path's final pruned
@@ -148,6 +156,7 @@ class EpsilonPropagator {
   const FrozenInstance* frozen_;
   EpsilonScratch* scratch_;
   obs::TraceSession* trace_;
+  QueryControl* control_;
 };
 
 }  // namespace pxml

@@ -386,7 +386,8 @@ Result<double> FrozenRootEpsilonImpl(const FrozenInstance& frozen,
                                      const ParallelOptions& parallel,
                                      EpsilonMemoCache* cache,
                                      EpsilonStats& tally,
-                                     EpsilonScratch* scratch) {
+                                     EpsilonScratch* scratch,
+                                     QueryControl* control) {
   if (path.start != frozen.root()) {
     return Status::BadPath("epsilon propagation paths must start at the root");
   }
@@ -489,6 +490,13 @@ Result<double> FrozenRootEpsilonImpl(const FrozenInstance& frozen,
   // only its own eps/fp slots; per-row accumulation order matches the
   // generic interpreter exactly for explicit/independent kernels.
   auto process = [&](ObjectId o, std::size_t level, LabelId l) -> Status {
+    // Cooperative gate: one op up front (cache hits included), the
+    // kernel's row-ops at the end — overshoot per worker is bounded by
+    // one kernel's rows plus the check interval (util/cancel.h).
+    if (control != nullptr) {
+      Status cs = control->Charge(1);
+      if (!cs.ok()) return cs;
+    }
     const std::span<const ObjectId> kids = frozen.children(o, l);
     Fingerprint key;
     if (cache != nullptr) {
@@ -581,6 +589,10 @@ Result<double> FrozenRootEpsilonImpl(const FrozenInstance& frozen,
       // interchangeable between dispatch paths and across MVCC epochs.
       cache->Insert(key, e, instance.SubtreeChangeVersion(o));
     }
+    if (control != nullptr) {
+      Status cs = control->Charge(ops);
+      if (!cs.ok()) return cs;
+    }
     return Status::Ok();
   };
 
@@ -631,12 +643,13 @@ Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
                                  const ParallelOptions& parallel,
                                  EpsilonMemoCache* cache, EpsilonStats* stats,
                                  EpsilonScratch* scratch,
-                                 obs::TraceSession* trace) {
+                                 obs::TraceSession* trace,
+                                 QueryControl* control) {
   obs::TraceSpan span(trace, "epsilon");
   EpsilonStats tally;
   Result<double> result = FrozenRootEpsilonImpl(frozen, instance, path,
                                                 targets, parallel, cache,
-                                                tally, scratch);
+                                                tally, scratch, control);
   FlushEpsilonPass(tally, stats, span, /*frozen=*/true);
   return result;
 }

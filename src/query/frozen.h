@@ -316,7 +316,9 @@ class FrozenInstance {
 /// exactly as in the generic pass (same fingerprints, same version
 /// gating, interchangeable entries for explicit/independent kernels).
 /// A non-null `trace` records the pass as an "epsilon" span with the
-/// pass counters attached (dispatch="frozen").
+/// pass counters attached (dispatch="frozen"). A non-null `control` makes
+/// the pass cooperative (deadline/budget/cancellation, util/cancel.h);
+/// null costs one branch per per-object evaluation.
 Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
                                  const ProbabilisticInstance& instance,
                                  const PathExpression& path,
@@ -324,7 +326,8 @@ Result<double> FrozenRootEpsilon(const FrozenInstance& frozen,
                                  const ParallelOptions& parallel,
                                  EpsilonMemoCache* cache, EpsilonStats* stats,
                                  EpsilonScratch* scratch,
-                                 obs::TraceSession* trace = nullptr);
+                                 obs::TraceSession* trace = nullptr,
+                                 QueryControl* control = nullptr);
 
 }  // namespace pxml
 

@@ -16,7 +16,8 @@ Result<double> PointQuery(const ProbabilisticInstance& instance,
                         PrunedWeakPathLayers(instance.weak(), path));
   if (!layers.back().Contains(object)) return 0.0;
   EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
-                         hooks.frozen, hooks.scratch, hooks.trace);
+                         hooks.frozen, hooks.scratch, hooks.trace,
+                         hooks.control);
   const TargetEps target{object, 1.0};
   return prop.RootEpsilon(path, std::span<const TargetEps>(&target, 1));
 }
@@ -32,7 +33,8 @@ Result<double> ExistsQuery(const ProbabilisticInstance& instance,
   for (ObjectId o : layers.back()) targets.push_back(TargetEps{o, 1.0});
   if (targets.empty()) return 0.0;
   EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
-                         hooks.frozen, hooks.scratch, hooks.trace);
+                         hooks.frozen, hooks.scratch, hooks.trace,
+                         hooks.control);
   return prop.RootEpsilon(path, targets);
 }
 
@@ -58,6 +60,11 @@ Result<double> ConditionProbability(const ProbabilisticInstance& instance,
                         PrunedWeakPathLayers(weak, condition.path));
   std::vector<TargetEps> targets;
   for (ObjectId o : layers.back()) {
+    // The per-target survival scans below stream VPF entries or the
+    // (possibly exponential) OPF support; keep them cooperative too.
+    if (hooks.control != nullptr) {
+      PXML_RETURN_IF_ERROR(hooks.control->Charge(1));
+    }
     // The target's "survival" probability is the chance it satisfies the
     // condition locally, given it exists.
     double e = 0.0;
@@ -81,19 +88,27 @@ Result<double> ConditionProbability(const ProbabilisticInstance& instance,
                      "' has no OPF"));
         }
         const IdSet& lch = weak.Lch(o, condition.count_label);
+        Status stream_status;
+        std::uint64_t rows = 0;
         opf->ForEachEntry([&](const OpfEntry& row) {
+          if (!stream_status.ok()) return;
           std::uint32_t k = 0;
           row.child_set.ForEachIntersecting(lch,
                                             [&](ObjectId) { ++k; });
           if (condition.count_range.Contains(k)) e += row.prob;
+          if (hooks.control != nullptr && ++rows % 1024 == 0) {
+            stream_status = hooks.control->Charge(1024);
+          }
         });
+        PXML_RETURN_IF_ERROR(stream_status);
       }
     }
     targets.push_back(TargetEps{o, e});
   }
   if (targets.empty()) return 0.0;
   EpsilonPropagator prop(instance, parallel, hooks.cache, hooks.stats,
-                         hooks.frozen, hooks.scratch, hooks.trace);
+                         hooks.frozen, hooks.scratch, hooks.trace,
+                         hooks.control);
   return prop.RootEpsilon(condition.path, targets);
 }
 

@@ -8,6 +8,7 @@
 #include "graph/path.h"
 #include "prob/value.h"
 #include "query/epsilon.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -42,6 +43,12 @@ struct EpsilonHooks {
   /// Records the ε pass as a trace span when non-null (see obs/trace.h);
   /// null is the zero-cost disabled path.
   obs::TraceSession* trace = nullptr;
+  /// Cooperative deadline/budget/cancellation gate for this query. The
+  /// pass charges row-ops through it at every per-object evaluation and
+  /// stops (with the control's sticky status) within the bounded check
+  /// interval documented in util/cancel.h. Null = zero-cost disabled
+  /// path: one null-pointer branch per charge site.
+  QueryControl* control = nullptr;
 };
 
 /// P(o ∈ p): the probability that object o satisfies path expression p in

@@ -1,0 +1,18 @@
+#include "util/cancel.h"
+
+namespace pxml {
+
+Status QueryControl::TrippedStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCancelled:
+      return Status::Cancelled("query cancelled via CancellationToken");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline expired");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted("per-query row-op budget exhausted");
+    default:
+      return Status::Internal("QueryControl tripped with unexpected code");
+  }
+}
+
+}  // namespace pxml

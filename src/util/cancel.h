@@ -1,0 +1,151 @@
+#ifndef PXML_UTIL_CANCEL_H_
+#define PXML_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace pxml {
+
+/// A shareable, one-way cancellation flag. A caller hands the same token
+/// to a query (via QueryRequest) and to whatever supervising code may
+/// decide the query is no longer wanted; RequestCancel() flips the flag
+/// and every hot loop observing the token through a QueryControl stops
+/// within its bounded check interval (see QueryControl below).
+///
+/// Tokens are reusable across queries (the flag is level-triggered, not
+/// edge-triggered) but NOT resettable: once cancelled, always cancelled.
+/// This keeps the contract race-free — a Reset() racing a late observer
+/// would reintroduce the torn state cancellation exists to avoid.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Idempotent; callable from any thread.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-query cooperative gate: carries the query's CancellationToken,
+/// deadline, and row-op budget, and turns them into a Status the hot
+/// loops can observe cheaply.
+///
+/// The granularity/overhead contract (DESIGN.md §11):
+///  - Charge(n) does one relaxed fetch_add on a shared counter plus a
+///    budget compare. The *expensive* checks — steady_clock::now() for
+///    the deadline and the acquire-load of the token — run only when the
+///    counter crosses a kCheckIntervalOps boundary, i.e. once per ~4096
+///    charged row-ops per query (shared across that query's worker
+///    threads).
+///  - Consequently a tripped query stops within at most
+///    kCheckIntervalOps × (participating workers) row-ops of the trip
+///    point: each worker can charge at most one full interval before its
+///    next boundary crossing observes the sticky code.
+///  - A null QueryControl* costs exactly one predictable null-pointer
+///    branch per charge site — the undeadlined path's answers, row-op
+///    counts, and throughput are unchanged (gated ≤2% in CI).
+///
+/// Trips are *sticky*: the first non-OK condition wins, is stored once,
+/// and every later Charge/CheckNow returns it without re-deriving, so a
+/// query that blew its deadline cannot later report kResourceExhausted.
+class QueryControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Expensive checks run once per this many charged row-ops. Power of
+  /// two so the boundary test is a shift compare, not a division.
+  static constexpr std::uint64_t kCheckIntervalOps = 4096;
+
+  QueryControl() = default;
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  /// All three knobs are optional; an unconfigured control never trips.
+  void set_token(const CancellationToken* token) { token_ = token; }
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  /// 0 = unlimited.
+  void set_row_op_budget(std::uint64_t budget) { budget_ = budget; }
+
+  /// Charges `n` row-ops against the budget and, on an interval
+  /// boundary, runs the deadline/token checks. Returns OK or the sticky
+  /// tripped status. Thread-safe; called concurrently by every worker
+  /// evaluating this query.
+  Status Charge(std::uint64_t n) {
+    const StatusCode tripped = tripped_.load(std::memory_order_acquire);
+    if (tripped != StatusCode::kOk) return TrippedStatus(tripped);
+    const std::uint64_t prev =
+        consumed_.fetch_add(n, std::memory_order_relaxed);
+    const std::uint64_t now = prev + n;
+    if (budget_ != 0 && now > budget_) {
+      return Trip(StatusCode::kResourceExhausted);
+    }
+    // Clock/token checks are amortized: only when the charge crossed a
+    // kCheckIntervalOps boundary. n is tiny relative to the interval at
+    // every call site, so "crossed at least one boundary" is just the
+    // shifted counters differing.
+    if ((prev / kCheckIntervalOps) != (now / kCheckIntervalOps)) {
+      return CheckNow();
+    }
+    return Status::Ok();
+  }
+
+  /// Unconditionally checks token + deadline (no charge). Used at task
+  /// dequeue (query start), after each parallel level, and by tests.
+  Status CheckNow() {
+    const StatusCode tripped = tripped_.load(std::memory_order_acquire);
+    if (tripped != StatusCode::kOk) return TrippedStatus(tripped);
+    if (token_ != nullptr && token_->cancel_requested()) {
+      return Trip(StatusCode::kCancelled);
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Trip(StatusCode::kDeadlineExceeded);
+    }
+    return Status::Ok();
+  }
+
+  /// Row-ops charged so far (relaxed; exact after the query quiesces).
+  std::uint64_t consumed() const {
+    return consumed_.load(std::memory_order_relaxed);
+  }
+
+  /// The sticky trip code; kOk if the query never tripped.
+  StatusCode tripped_code() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Status Trip(StatusCode code) {
+    StatusCode expected = StatusCode::kOk;
+    // First trip wins; a losing racer reports the winner's code.
+    tripped_.compare_exchange_strong(expected, code,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+    return TrippedStatus(expected == StatusCode::kOk ? code : expected);
+  }
+
+  static Status TrippedStatus(StatusCode code);
+
+  const CancellationToken* token_ = nullptr;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::uint64_t budget_ = 0;
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<StatusCode> tripped_{StatusCode::kOk};
+};
+
+}  // namespace pxml
+
+#endif  // PXML_UTIL_CANCEL_H_

@@ -28,6 +28,14 @@ const char* StatusCodeName(StatusCode code) {
       return "BadPath";
     case StatusCode::kStale:
       return "Stale";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kRejected:
+      return "Rejected";
   }
   return "Unknown";
 }

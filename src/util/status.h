@@ -48,6 +48,23 @@ enum class StatusCode {
   /// The query raced a mutation through the QueryEngine facade; the
   /// answer would reflect neither the old nor the new instance. Retry.
   kStale,
+
+  // --- Serving taxonomy (deadlines, budgets, admission; DESIGN.md §11).
+
+  /// The caller's CancellationToken was tripped while the query ran; the
+  /// query stopped within the bounded check interval. Not retryable
+  /// unless the caller re-issues with a fresh token.
+  kCancelled,
+  /// The request's deadline expired before (or while) the query ran.
+  /// Retry with a larger deadline, or not at all.
+  kDeadlineExceeded,
+  /// The query exhausted its per-query row-op budget mid-evaluation.
+  /// Retry with a larger budget or a cheaper query shape.
+  kResourceExhausted,
+  /// The admission controller shed the batch before any query ran (too
+  /// many in-flight batches, pool backlog over the watermark, or the
+  /// pre-dispatch cost estimate over the cap). Safe to retry later.
+  kRejected,
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -95,6 +112,18 @@ class Status {
   }
   static Status Stale(std::string msg) {
     return Status(StatusCode::kStale, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -139,6 +139,20 @@ class ThreadPool {
   /// metrics at once with a BatchMetricsScope instead.
   std::size_t ResetMaxQueueDepth();
 
+  /// Tasks currently sitting in some queue, not yet picked up (relaxed
+  /// instantaneous read — the admission controller's backlog watermark;
+  /// see QueryEngine). Distinct from the high-water mark above: this is
+  /// "how deep is the backlog right now", not "how deep did it get".
+  std::size_t queued_tasks() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Submitted tasks not yet finished (queued + running). The admission
+  /// controller uses this to tell an idle pool from a saturated one.
+  std::size_t pending_tasks() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// A queued task plus the batch it is attributed to (null = untagged).
   struct Task {

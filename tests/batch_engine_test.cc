@@ -194,6 +194,15 @@ TEST(ParallelForTest, SerialWhenPoolIsNull) {
 // ---------------------------------------------------------------------------
 // Batch engine
 
+/// What the retired BatchQueryEngine wrapper used to configure: borrowing
+/// and stateless (no ε-memo cache, no frozen snapshot), i.e. bit-exact
+/// generic evaluation on every run.
+BatchOptions Uncached(BatchOptions options) {
+  options.cache = false;
+  options.frozen = false;
+  return options;
+}
+
 /// The §7.1 workload at test scale, plus a deterministic mixed query set.
 class BatchEngineTest : public ::testing::Test {
  protected:
@@ -274,7 +283,7 @@ TEST_F(BatchEngineTest, ManyQueriesOneInstanceHammer) {
 
   BatchOptions serial_opts;
   serial_opts.threads = 1;
-  BatchQueryEngine serial(inst, serial_opts);
+  QueryEngine serial(&inst, Uncached(serial_opts));
   auto expected = serial.Run(queries);
   ASSERT_TRUE(expected.ok()) << expected.status();
 
@@ -282,7 +291,7 @@ TEST_F(BatchEngineTest, ManyQueriesOneInstanceHammer) {
     BatchOptions opts;
     opts.threads = threads;
     opts.min_parallel_width = 1;
-    BatchQueryEngine engine(inst, opts);
+    QueryEngine engine(&inst, Uncached(opts));
     BatchStats stats;
     auto answers = engine.Run(queries, &stats);
     ASSERT_TRUE(answers.ok()) << answers.status();
@@ -303,14 +312,14 @@ TEST_F(BatchEngineTest, ResultsIndependentOfScheduling) {
   BatchOptions opts;
   opts.threads = 4;
   opts.min_parallel_width = 1;
-  BatchQueryEngine engine(inst, opts);
+  QueryEngine engine(&inst, Uncached(opts));
   auto first = engine.Run(queries);
   ASSERT_TRUE(first.ok());
   auto second = engine.Run(queries);
   ASSERT_TRUE(second.ok());
   ExpectSameAnswers(*first, *second);
 
-  BatchQueryEngine fresh(inst, opts);
+  QueryEngine fresh(&inst, Uncached(opts));
   auto third = fresh.Run(queries);
   ASSERT_TRUE(third.ok());
   ExpectSameAnswers(*first, *third);
@@ -320,7 +329,7 @@ TEST_F(BatchEngineTest, SerialPathUsesNoPool) {
   const ProbabilisticInstance inst = MakeWorkloadInstance();
   BatchOptions opts;
   opts.threads = 1;
-  BatchQueryEngine engine(inst, opts);
+  QueryEngine engine(&inst, Uncached(opts));
   EXPECT_EQ(engine.threads(), 1u);
   BatchStats stats;
   auto answers = engine.Run(MakeQueries(inst, 10), &stats);
@@ -351,7 +360,7 @@ TEST_F(BatchEngineTest, MatchesDirectSerialOperators) {
   BatchOptions opts;
   opts.threads = 4;
   opts.min_parallel_width = 1;
-  BatchQueryEngine engine(inst, opts);
+  QueryEngine engine(&inst, Uncached(opts));
   auto answers = engine.Run(queries);
   ASSERT_TRUE(answers.ok());
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -378,7 +387,7 @@ TEST_F(BatchEngineTest, PerQueryFailuresDoNotPoisonTheBatch) {
 
   BatchOptions opts;
   opts.threads = 2;
-  BatchQueryEngine engine(inst, opts);
+  QueryEngine engine(&inst, Uncached(opts));
   auto answers = engine.Run(queries);
   ASSERT_TRUE(answers.ok());
   EXPECT_TRUE((*answers)[0].status.ok());
@@ -395,7 +404,7 @@ TEST_F(BatchEngineTest, QueueDepthIsScopedPerBatch) {
   // Keep intra-query passes serial so task counts are exactly one per
   // query and the single-query batch can only ever reach depth 1.
   opts.min_parallel_width = 1000000;
-  BatchQueryEngine engine(inst, opts);
+  QueryEngine engine(&inst, Uncached(opts));
 
   BatchStats big;
   auto a = engine.Run(MakeQueries(inst, 300), &big);
@@ -410,13 +419,33 @@ TEST_F(BatchEngineTest, QueueDepthIsScopedPerBatch) {
 
 TEST_F(BatchEngineTest, EmptyBatchIsOk) {
   const ProbabilisticInstance inst = MakeWorkloadInstance();
-  BatchQueryEngine engine(inst, BatchOptions{.threads = 2});
+  QueryEngine engine(&inst, Uncached(BatchOptions{.threads = 2}));
   BatchStats stats;
   auto answers = engine.Run({}, &stats);
   ASSERT_TRUE(answers.ok());
   EXPECT_TRUE(answers->empty());
   EXPECT_EQ(stats.tasks, 0u);
 }
+
+// The retired BatchQueryEngine wrapper survives as a deprecated
+// header-only shim; this is its one remaining in-repo use, pinning the
+// compatibility contract: same construction surface, answers
+// bit-identical to a stateless borrowing QueryEngine.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(BatchEngineTest, DeprecatedWrapperShimMatchesQueryEngine) {
+  const ProbabilisticInstance inst = MakeWorkloadInstance();
+  const std::vector<BatchQuery> queries = MakeQueries(inst, 25);
+  BatchQueryEngine wrapper(inst, BatchOptions{.threads = 2});
+  EXPECT_EQ(wrapper.threads(), 2u);
+  QueryEngine direct(&inst, Uncached(BatchOptions{.threads = 2}));
+  auto from_wrapper = wrapper.Run(queries);
+  ASSERT_TRUE(from_wrapper.ok()) << from_wrapper.status();
+  auto from_direct = direct.Run(queries);
+  ASSERT_TRUE(from_direct.ok()) << from_direct.status();
+  ExpectSameAnswers(*from_wrapper, *from_direct);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace pxml

@@ -1,0 +1,145 @@
+// Unit tests for the cooperative cancellation primitives (util/cancel.h):
+// CancellationToken's sticky flag and QueryControl's charge/trip contract
+// — budget checks are immediate, clock/token checks are amortized to
+// kCheckIntervalOps boundaries, and the first trip wins forever.
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/cancel.h"
+
+namespace pxml {
+namespace {
+
+TEST(CancellationTokenTest, StartsClearAndTripsSticky) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancel_requested());
+  token.RequestCancel();  // idempotent
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(QueryControlTest, UnconfiguredControlNeverTrips) {
+  QueryControl control;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(control.Charge(QueryControl::kCheckIntervalOps).ok());
+  }
+  EXPECT_TRUE(control.CheckNow().ok());
+  EXPECT_EQ(control.tripped_code(), StatusCode::kOk);
+  EXPECT_EQ(control.consumed(), 10 * QueryControl::kCheckIntervalOps);
+}
+
+TEST(QueryControlTest, BudgetTripsStrictlyPastBudgetImmediately) {
+  QueryControl control;
+  control.set_row_op_budget(100);
+  EXPECT_TRUE(control.Charge(50).ok());
+  EXPECT_TRUE(control.Charge(50).ok());  // consumed == budget: still fine
+  // The budget check is NOT amortized: the very next charge trips even
+  // though no kCheckIntervalOps boundary is near.
+  Status st = control.Charge(1);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(control.tripped_code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(control.consumed(), 101u);
+  // Sticky: later charges report the same code without re-deriving.
+  EXPECT_EQ(control.Charge(1).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(control.CheckNow().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryControlTest, DeadlineCheckIsAmortizedToIntervalBoundaries) {
+  QueryControl control;
+  control.set_deadline(QueryControl::Clock::now() -
+                       std::chrono::milliseconds(1));
+  // The deadline is already past, but Charge only consults the clock on
+  // a kCheckIntervalOps boundary crossing: everything strictly inside
+  // the first interval stays OK.
+  for (std::uint64_t i = 0; i + 1 < QueryControl::kCheckIntervalOps; ++i) {
+    ASSERT_TRUE(control.Charge(1).ok()) << "charge " << i;
+  }
+  // This charge crosses the boundary (consumed reaches the interval) and
+  // must observe the expired deadline.
+  EXPECT_EQ(control.Charge(1).code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryControlTest, CheckNowIsUnconditional) {
+  QueryControl control;
+  control.set_deadline(QueryControl::Clock::now() -
+                       std::chrono::milliseconds(1));
+  // No charges at all: CheckNow still observes the expired deadline (the
+  // task-dequeue check relies on this).
+  EXPECT_EQ(control.CheckNow().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryControlTest, TokenObservedByCheckNowAndAtBoundary) {
+  CancellationToken token;
+  QueryControl control;
+  control.set_token(&token);
+  EXPECT_TRUE(control.CheckNow().ok());
+  token.RequestCancel();
+  EXPECT_EQ(control.CheckNow().code(), StatusCode::kCancelled);
+
+  // A fresh control over the same (already-tripped) token trips at its
+  // first boundary crossing — tokens are level-triggered and reusable.
+  QueryControl late;
+  late.set_token(&token);
+  EXPECT_EQ(late.Charge(QueryControl::kCheckIntervalOps).code(),
+            StatusCode::kCancelled);
+}
+
+TEST(QueryControlTest, FirstTripWinsOverLaterConditions) {
+  CancellationToken token;
+  QueryControl control;
+  control.set_token(&token);
+  control.set_row_op_budget(10);
+  token.RequestCancel();
+  ASSERT_EQ(control.CheckNow().code(), StatusCode::kCancelled);
+  // Blowing the budget afterwards still reports the original trip: a
+  // query cannot change its story between observation points.
+  EXPECT_EQ(control.Charge(100).code(), StatusCode::kCancelled);
+  EXPECT_EQ(control.tripped_code(), StatusCode::kCancelled);
+}
+
+TEST(QueryControlTest, ConcurrentChargesAgreeOnOneCodeAndExactTotal) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kChargesPerThread = 50000;
+  CancellationToken token;
+  QueryControl control;
+  control.set_token(&token);
+  token.RequestCancel();
+
+  std::vector<std::uint64_t> ok_charges(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kChargesPerThread; ++i) {
+        Status st = control.Charge(1);
+        if (st.ok()) {
+          ++ok_charges[t];
+        } else {
+          // Every observed trip must carry the one sticky code.
+          ASSERT_EQ(st.code(), StatusCode::kCancelled);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(control.tripped_code(), StatusCode::kCancelled);
+  // Each worker keeps charging for at most one interval before a
+  // boundary crossing observes the token (the granularity contract); the
+  // slack term covers the one in-flight charge per racer that can slip
+  // past the trip CAS.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_LE(ok_charges[t], QueryControl::kCheckIntervalOps + kThreads) << t;
+  }
+  // consumed() only counts charges that reached the counter — those that
+  // saw the sticky code early-returned. It is exact after quiescence.
+  std::uint64_t counted = 0;
+  for (int t = 0; t < kThreads; ++t) counted += ok_charges[t];
+  EXPECT_GE(control.consumed(), counted);
+  EXPECT_LE(control.consumed(),
+            static_cast<std::uint64_t>(kThreads) * kChargesPerThread);
+}
+
+}  // namespace
+}  // namespace pxml

@@ -14,7 +14,6 @@
 #include <thread>
 #include <vector>
 
-#include "query/batch_engine.h"
 #include "query/engine.h"
 #include "query/epsilon.h"
 #include "query/point_queries.h"
@@ -117,6 +116,25 @@ void ExpectBitEqual(double a, double b, const char* what) {
       << what << ": " << a << " != " << b;
 }
 
+/// Stateless reference configuration (what the retired BatchQueryEngine
+/// wrapper forced): no Îµ-memo cache, no frozen kernels â bit-exact
+/// generic evaluation on every run.
+BatchOptions Uncached(BatchOptions options) {
+  options.cache = false;
+  options.frozen = false;
+  return options;
+}
+
+/// The RunOne spelling of the deprecated ExistsProbability convenience.
+Result<double> ExistsP(const QueryEngine& engine, const PathExpression& path,
+                       RunOptions options = {}) {
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = engine.RunOne(BatchQuery::Exists(path), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
+}
+
 // ---------------------------------------------------------------------------
 // Cached vs uncached differential
 
@@ -152,7 +170,7 @@ TEST(QueryEngineTest, CachedAnswersBitIdenticalToUncachedAcrossThreads) {
 
   BatchOptions uncached_opts;
   uncached_opts.threads = 1;
-  BatchQueryEngine uncached(inst, uncached_opts);
+  QueryEngine uncached(&inst, Uncached(uncached_opts));
   auto expected = uncached.Run(queries);
   ASSERT_TRUE(expected.ok()) << expected.status();
 
@@ -246,7 +264,8 @@ TEST(QueryEngineTest, LocalUpdateRecomputesOnlyDirtySpine) {
 
   // And the cached warm answer equals a from-scratch uncached pass over
   // the mutated instance, bit for bit.
-  BatchQueryEngine uncached(engine.instance(), BatchOptions{.threads = 1});
+  QueryEngine uncached(&engine.instance(),
+                       Uncached(BatchOptions{.threads = 1}));
   auto fresh = uncached.Run(queries);
   ASSERT_TRUE(fresh.ok());
   ExpectBitEqual((*warm_answers)[0].probability, (*fresh)[0].probability,
@@ -273,7 +292,8 @@ TEST(QueryEngineTest, UpdateAtRootInvalidatesOnlyRootEntry) {
   ASSERT_TRUE(answers.ok());
   EXPECT_EQ(warm.epsilon_recomputed, 1u);
 
-  BatchQueryEngine uncached(engine.instance(), BatchOptions{.threads = 1});
+  QueryEngine uncached(&engine.instance(),
+                       Uncached(BatchOptions{.threads = 1}));
   auto fresh = uncached.Run(queries);
   ASSERT_TRUE(fresh.ok());
   ExpectBitEqual((*answers)[0].probability, (*fresh)[0].probability,
@@ -307,7 +327,8 @@ TEST(QueryEngineTest, LeafVpfUpdateRecomputesOnlyLeafSpine) {
   EXPECT_LE(warm.epsilon_recomputed, depth);
   EXPECT_GE(cold.epsilon_recomputed, 10 * warm.epsilon_recomputed);
 
-  BatchQueryEngine uncached(engine.instance(), BatchOptions{.threads = 1});
+  QueryEngine uncached(&engine.instance(),
+                       Uncached(BatchOptions{.threads = 1}));
   auto fresh = uncached.Run(queries);
   ASSERT_TRUE(fresh.ok());
   ExpectBitEqual((*answers)[0].probability, (*fresh)[0].probability,
@@ -353,7 +374,7 @@ TEST(QueryEngineTest, UpdateOutsideQueriedPathRecomputesOnlyRoot) {
   // Mutate b1 (outside the queried path). Its spine is {b1, root}: only
   // the root's memo entry intersects the query, so exactly one ε
   // evaluation reruns — and the answer is unchanged (B is pruned away).
-  auto before = engine.ExistsProbability(queries[0].path);
+  auto before = ExistsP(engine, queries[0].path);
   ASSERT_TRUE(before.ok());
   auto new_opf = std::make_unique<IndependentOpf>();
   ASSERT_TRUE(new_opf->AddChild(b2, 0.9).ok());
@@ -417,14 +438,14 @@ TEST(QueryEngineTest, RandomizedInterleavingsMatchUncachedAndWorldsOracle) {
         ASSERT_TRUE(ans.status.ok()) << ans.status;
         answers.push_back(ans.probability);
       }
-      auto single = engine.ExistsProbability(cond->path);
+      auto single = ExistsP(engine, cond->path);
       ASSERT_TRUE(single.ok());
       answers.push_back(*single);
 
       // Differential: the cached facade vs an uncached engine vs the
       // possible-worlds oracle, on the current (mutated) instance.
-      BatchQueryEngine uncached(engine.instance(),
-                                BatchOptions{.threads = 1});
+      QueryEngine uncached(&engine.instance(),
+                           Uncached(BatchOptions{.threads = 1}));
       auto fresh = uncached.Run({BatchQuery::Point(cond->path, cond->object),
                                  BatchQuery::Exists(cond->path),
                                  BatchQuery::ValueEquals(cond->path, v)});
@@ -470,7 +491,7 @@ TEST(QueryEngineTest, QueriesDuringMutationScopeReadTheCommittedEpoch) {
   QueryEngine engine(inst, BatchOptions{.threads = 2});
   const PathExpression path = FullDepthPath(inst, 3);
 
-  auto before = engine.ExistsProbability(path);
+  auto before = ExistsP(engine, path);
   ASSERT_TRUE(before.ok()) << before.status();
 
   {
@@ -488,7 +509,7 @@ TEST(QueryEngineTest, QueriesDuringMutationScopeReadTheCommittedEpoch) {
     ASSERT_TRUE((*batch)[0].status.ok()) << (*batch)[0].status;
     ExpectBitEqual((*batch)[0].probability, *before, "during-guard batch");
     EXPECT_EQ((*batch)[0].profile.epoch, 1u);
-    auto single = engine.ExistsProbability(path);
+    auto single = ExistsP(engine, path);
     ASSERT_TRUE(single.ok()) << single.status();
     ExpectBitEqual(*single, *before, "during-guard convenience");
 
@@ -500,7 +521,7 @@ TEST(QueryEngineTest, QueriesDuringMutationScopeReadTheCommittedEpoch) {
         engine.Run({BatchQuery::Exists(path)}, nullptr, nullptr, latest);
     ASSERT_TRUE(strict_batch.ok());
     EXPECT_EQ((*strict_batch)[0].status.code(), StatusCode::kStale);
-    auto strict = engine.ExistsProbability(path, latest);
+    auto strict = ExistsP(engine, path, latest);
     ASSERT_FALSE(strict.ok());
     EXPECT_EQ(strict.status().code(), StatusCode::kStale);
   }
@@ -512,7 +533,7 @@ TEST(QueryEngineTest, QueriesDuringMutationScopeReadTheCommittedEpoch) {
   EXPECT_EQ((*after)[0].profile.epoch, 2u);
   RunOptions latest;
   latest.require_latest = true;
-  auto strict_after = engine.ExistsProbability(path, latest);
+  auto strict_after = ExistsP(engine, path, latest);
   ASSERT_TRUE(strict_after.ok()) << strict_after.status();
 }
 
@@ -567,7 +588,8 @@ TEST(QueryEngineTest, ConcurrentMutateAndQueryHammer) {
   // Post-race differential: the cache must have survived 200 updates.
   auto cached = engine.Run(queries);
   ASSERT_TRUE(cached.ok());
-  BatchQueryEngine uncached(engine.instance(), BatchOptions{.threads = 1});
+  QueryEngine uncached(&engine.instance(),
+                       Uncached(BatchOptions{.threads = 1}));
   auto fresh = uncached.Run(queries);
   ASSERT_TRUE(fresh.ok());
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -627,7 +649,7 @@ TEST(QueryEngineTest, MutationErrorsUseTheTaxonomy) {
   PathExpression dag_path;
   dag_path.start = dag.weak().root();
   dag_path.labels.push_back(*dag.dict().FindLabel("a"));
-  auto rejected = dag_engine.ExistsProbability(dag_path);
+  auto rejected = ExistsP(dag_engine, dag_path);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kNotATree);
 
@@ -681,7 +703,7 @@ TEST(QueryEngineTest, ReplaceSubtreeGraftsDonorInterpretation) {
                              BatchQuery::ValueEquals(path, Value("v0"))},
                             &stats);
   ASSERT_TRUE(grafted.ok());
-  BatchQueryEngine uncached(expected, BatchOptions{.threads = 1});
+  QueryEngine uncached(&expected, Uncached(BatchOptions{.threads = 1}));
   auto fresh = uncached.Run({BatchQuery::Exists(path),
                              BatchQuery::ValueEquals(path, Value("v0"))});
   ASSERT_TRUE(fresh.ok());

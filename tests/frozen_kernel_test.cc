@@ -36,6 +36,16 @@
 namespace pxml {
 namespace {
 
+/// The RunOne spelling of the deprecated ExistsProbability convenience.
+Result<double> ExistsP(const QueryEngine& engine, const PathExpression& path,
+                       RunOptions options = {}) {
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = engine.RunOne(BatchQuery::Exists(path), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
+}
+
 using testing::ExpectSameDistribution;
 
 Result<ProbabilisticInstance> Generate(OpfStyle style, std::uint32_t depth,
@@ -378,7 +388,7 @@ TEST(FrozenKernelTest, OpenMutationGuardStillServesSnapshotReads) {
   auto path = GenerateAcceptedPath(engine.instance(), rng);
   ASSERT_TRUE(path.ok()) << path.status();
 
-  auto before = engine.ExistsProbability(*path);
+  auto before = ExistsP(engine, *path);
   ASSERT_TRUE(before.ok()) << before.status();
 
   {
@@ -386,17 +396,17 @@ TEST(FrozenKernelTest, OpenMutationGuardStillServesSnapshotReads) {
     // Snapshot isolation: the open guard no longer blocks readers — the
     // query pins the committed epoch and answers bit-identically to the
     // pre-guard read.
-    auto during = engine.ExistsProbability(*path);
+    auto during = ExistsP(engine, *path);
     ASSERT_TRUE(during.ok()) << during.status();
     EXPECT_EQ(*during, *before);
     // The fail-fast contract survives behind require_latest.
     RunOptions latest;
     latest.require_latest = true;
-    auto strict = engine.ExistsProbability(*path, latest);
+    auto strict = ExistsP(engine, *path, latest);
     ASSERT_FALSE(strict.ok());
     EXPECT_EQ(strict.status().code(), StatusCode::kStale);
   }
-  auto after = engine.ExistsProbability(*path);
+  auto after = ExistsP(engine, *path);
   ASSERT_TRUE(after.ok()) << after.status();
 }
 

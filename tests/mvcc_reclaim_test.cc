@@ -23,6 +23,16 @@
 namespace pxml {
 namespace {
 
+/// The RunOne spelling of the deprecated ExistsProbability convenience.
+Result<double> ExistsP(const QueryEngine& engine, const PathExpression& path,
+                       RunOptions options = {}) {
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = engine.RunOne(BatchQuery::Exists(path), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
+}
+
 ProbabilisticInstance MakeChain(std::uint32_t depth, std::uint64_t seed) {
   ProbabilisticInstance inst;
   WeakInstance& weak = inst.weak();
@@ -85,7 +95,7 @@ TEST(MvccReclaimTest, ChurnedEpochsAreReclaimedEagerly) {
     const ObjectId root = inst.weak().root();
     for (int i = 0; i < kChurn; ++i) {
       ASSERT_TRUE(engine.UpdateOpf(root, FreshOpf(inst, root, rng)).ok());
-      auto p = engine.ExistsProbability(path);
+      auto p = ExistsP(engine, path);
       ASSERT_TRUE(p.ok()) << p.status();
       // No reader pins an old epoch here, so each publish retires its
       // predecessor immediately: exactly one epoch alive per engine, no
@@ -157,7 +167,7 @@ TEST(MvccReclaimTest, PinnedEpochDefersReclamationUntilRelease) {
   // Publish retired epoch 1 and installed epoch 2: still exactly one live.
   EXPECT_EQ(LiveSnapshots(), baseline_live + 1);
   EXPECT_EQ(engine.head_epoch(), 2u);
-  auto p = engine.ExistsProbability(path);
+  auto p = ExistsP(engine, path);
   ASSERT_TRUE(p.ok()) << p.status();
 }
 

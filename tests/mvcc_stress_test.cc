@@ -27,6 +27,16 @@
 namespace pxml {
 namespace {
 
+/// The RunOne spelling of the deprecated ExistsProbability convenience.
+Result<double> ExistsP(const QueryEngine& engine, const PathExpression& path,
+                       RunOptions options = {}) {
+  QueryRequest request;
+  request.require_latest = options.require_latest;
+  BatchAnswer answer = engine.RunOne(BatchQuery::Exists(path), request);
+  if (!answer.status.ok()) return answer.status;
+  return answer.probability;
+}
+
 /// A uniform balanced tree over IndependentOpfs (the representation with
 /// bit-identical frozen kernels, so cross-engine comparisons can demand
 /// exact equality). Construction order is a function of (depth,
@@ -308,7 +318,7 @@ TEST(MvccStressTest, PinnedEpochSurvivesConcurrentPublish) {
   QueryEngine engine(initial, opts);
   const PathExpression path = FullDepthPath(initial, 3);
 
-  auto before = engine.ExistsProbability(path);
+  auto before = ExistsP(engine, path);
   ASSERT_TRUE(before.ok()) << before.status();
 
   // Open a guard, mutate, and — while the guard is still open — read
@@ -336,7 +346,7 @@ TEST(MvccStressTest, PinnedEpochSurvivesConcurrentPublish) {
   EXPECT_EQ(engine.head_epoch(), 2u);
 
   // And the committed epoch is actually different.
-  auto after = engine.ExistsProbability(path);
+  auto after = ExistsP(engine, path);
   ASSERT_TRUE(after.ok()) << after.status();
   EXPECT_NE(Bits(*after), Bits(*before));
 }

@@ -13,7 +13,7 @@
 #include "bayes/network.h"
 #include "core/semantics.h"
 #include "core/validation.h"
-#include "query/batch_engine.h"
+#include "query/engine.h"
 #include "query/point_queries.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -25,6 +25,15 @@
 
 namespace pxml {
 namespace {
+
+/// Stateless reference configuration (what the retired BatchQueryEngine
+/// wrapper forced): no ε-memo cache, no frozen kernels — bit-exact
+/// generic evaluation on every run.
+BatchOptions Uncached(BatchOptions options) {
+  options.cache = false;
+  options.frozen = false;
+  return options;
+}
 
 using Param = std::tuple<std::uint32_t /*depth*/, std::uint32_t /*branch*/,
                          LabelingScheme, std::uint64_t /*seed*/>;
@@ -156,7 +165,7 @@ TEST_P(RandomTreeTest, BatchEngineMatchesSerialAndOracle) {
 
   BatchOptions serial_options;
   serial_options.threads = 1;
-  BatchQueryEngine serial(inst, serial_options);
+  QueryEngine serial(&inst, Uncached(serial_options));
   auto serial_answers = serial.Run(queries);
   ASSERT_TRUE(serial_answers.ok()) << serial_answers.status();
 
@@ -188,7 +197,7 @@ TEST_P(RandomTreeTest, BatchEngineMatchesSerialAndOracle) {
     BatchOptions options;
     options.threads = threads;
     options.min_parallel_width = 1;  // engage intra-query splits on tiny trees
-    BatchQueryEngine engine(inst, options);
+    QueryEngine engine(&inst, Uncached(options));
     for (int repeat = 0; repeat < 2; ++repeat) {
       auto answers = engine.Run(queries);
       ASSERT_TRUE(answers.ok()) << answers.status();
